@@ -1,0 +1,348 @@
+package perple
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"perple/internal/experiments"
+	"perple/internal/harness"
+	"perple/internal/sim"
+)
+
+// Benchmarks regenerating the paper's evaluation: one per table/figure
+// (BenchmarkTableII .. BenchmarkOverall run the full drivers at reduced
+// iteration counts), plus wall-clock micro-benchmarks of the genuinely
+// algorithmic claims (BenchmarkCount*: Algorithm 1 is N^TL, Algorithm 2
+// is linear) and ablation benchmarks for the design choices DESIGN.md
+// calls out. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale paper numbers come from cmd/perple-experiments instead.
+
+// ----- per-table/figure drivers -----
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableII(io.Discard, experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	opts := experiments.Options{N: 500, ExhaustiveCap3: 150}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	opts := experiments.Options{N: 500, ExhaustiveCap3: 150}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	opts := experiments.Options{Quick: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	opts := experiments.Options{N: 20000}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(io.Discard, experiments.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeuristicAccuracy(b *testing.B) {
+	opts := experiments.Options{N: 800, ExhaustiveCap3: 150}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HeuristicAccuracy(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverall(b *testing.B) {
+	opts := experiments.Options{N: 800}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Overall(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ----- algorithmic micro-benchmarks (wall clock) -----
+
+// benchRun produces one perpetual run's buffers for counter benchmarks.
+func benchRun(b *testing.B, name string, n int) (*PerpetualTest, *Counter, *BufSet) {
+	b.Helper()
+	test, err := SuiteTest(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := Convert(test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counter, err := NewTargetCounter(pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := RunPerpLE(pt, counter, n, PerpLEOptions{Heuristic: true, KeepBufs: true}, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pt, counter, res.Bufs
+}
+
+// BenchmarkCountExhaustive measures Algorithm 1's N^TL frame walk; the
+// per-op time must grow quadratically with N for the TL=2 sb test.
+func BenchmarkCountExhaustive(b *testing.B) {
+	for _, n := range []int{250, 500, 1000, 2000} {
+		b.Run(fmt.Sprintf("sb/n=%d", n), func(b *testing.B) {
+			_, counter, bufs := benchRun(b, "sb", n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := counter.CountExhaustive(bufs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCountHeuristic measures Algorithm 2's linear walk at the same
+// sizes; comparing against BenchmarkCountExhaustive reproduces the
+// paper's heuristic-vs-exhaustive speedup in host wall clock.
+func BenchmarkCountHeuristic(b *testing.B) {
+	for _, n := range []int{250, 500, 1000, 2000, 100000} {
+		b.Run(fmt.Sprintf("sb/n=%d", n), func(b *testing.B) {
+			_, counter, bufs := benchRun(b, "sb", n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := counter.CountHeuristic(bufs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCountExhaustiveParallel measures the fan-out engineering
+// extension: the same N^2 frame walk split over worker goroutines.
+func BenchmarkCountExhaustiveParallel(b *testing.B) {
+	_, counter, bufs := benchRun(b, "sb", 2000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := counter.CountExhaustiveParallel(bufs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCountExhaustiveTL3 shows the cubic blowup for a T_L=3 test
+// (podwr001), the paper's Section VII-B impracticality observation.
+func BenchmarkCountExhaustiveTL3(b *testing.B) {
+	for _, n := range []int{100, 200, 400} {
+		b.Run(fmt.Sprintf("podwr001/n=%d", n), func(b *testing.B) {
+			_, counter, bufs := benchRun(b, "podwr001", n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := counter.CountExhaustive(bufs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConvert measures the Converter itself (test + full outcome
+// space), which the paper amortizes across runs.
+func BenchmarkConvert(b *testing.B) {
+	for _, name := range []string{"sb", "iriw", "podwr001", "rfi017"} {
+		b.Run(name, func(b *testing.B) {
+			test, err := SuiteTest(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pt, err := Convert(test)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ConvertAllOutcomes(pt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimPerpetual measures simulated-machine throughput for
+// perpetual execution (iterations simulated per benchmark op).
+func BenchmarkSimPerpetual(b *testing.B) {
+	test, err := SuiteTest("sb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := Convert(test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counter, err := NewTargetCounter(pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 10000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunPerpLE(pt, counter, n, PerpLEOptions{Heuristic: true}, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimLitmus7 measures litmus7-style simulation per mode.
+func BenchmarkSimLitmus7(b *testing.B) {
+	test, err := SuiteTest("sb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeUser, ModeTimebase, ModeNone} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunLitmus7(test, 5000, mode, nil, DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ----- ablation benchmarks (design choices called out in DESIGN.md) -----
+
+// BenchmarkAblationDrainLatency reports the target-outcome rate as the
+// store-buffer drain window scales: longer residency widens the window in
+// which store buffering is observable.
+func BenchmarkAblationDrainLatency(b *testing.B) {
+	test, err := SuiteTest("sb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := Convert(test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counter, err := NewTargetCounter(pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scale := range []int64{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("drain-x%d", scale), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.DrainMin *= scale
+			cfg.DrainMax *= scale
+			var hits, iters int64
+			for i := 0; i < b.N; i++ {
+				res, err := RunPerpLE(pt, counter, 5000, PerpLEOptions{Heuristic: true}, cfg.WithSeed(int64(i)+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				hits += res.Heuristic.Counts[0]
+				iters += 5000
+			}
+			b.ReportMetric(float64(hits)/float64(iters), "hits/iter")
+		})
+	}
+}
+
+// BenchmarkAblationPreemption reports skew spread (P95-P5) as the
+// preemption probability scales: preemption is the main skew source.
+func BenchmarkAblationPreemption(b *testing.B) {
+	test, err := SuiteTest("sb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := Convert(test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counter, err := NewTargetCounter(pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scale := range []float64{0, 1, 4} {
+		b.Run(fmt.Sprintf("preempt-x%g", scale), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.PreemptProb *= scale
+			var spread float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunPerpLE(pt, counter, 20000, PerpLEOptions{Heuristic: true, KeepBufs: true}, cfg.WithSeed(int64(i)+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples := MeasureSkew(pt, res.Bufs)
+				var min, max int64
+				for _, s := range samples {
+					if s.Skew < min {
+						min = s.Skew
+					}
+					if s.Skew > max {
+						max = s.Skew
+					}
+				}
+				spread += float64(max - min)
+			}
+			b.ReportMetric(spread/float64(b.N), "skew-range")
+		})
+	}
+}
+
+// BenchmarkAblationBarrierCost reports litmus7-user runtime sensitivity
+// to barrier cost, the dominant term of the paper's Figure 10 baselines.
+func BenchmarkAblationBarrierCost(b *testing.B) {
+	test, err := SuiteTest("sb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []sim.Mode{sim.ModeUser, sim.ModePthread} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var ticks int64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunLitmus7(test, 2000, mode, nil, DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				ticks += res.Ticks
+			}
+			b.ReportMetric(float64(ticks)/float64(b.N)/2000, "ticks/iter")
+		})
+	}
+}

@@ -1,0 +1,135 @@
+// Command perple-convert is the PerpLE Converter front end: it reads a
+// litmus test (a litmus7-style file, or a named test from the built-in
+// perpetual suite), converts it to its perpetual counterpart and writes
+// the Converter's output artifacts — per-thread perpetual assembly, the
+// exhaustive and heuristic outcome counters as Go source, and the
+// t_i_reads parameters file (Section V-A of the paper).
+//
+// Usage:
+//
+//	perple-convert -test sb -o out/            # suite test by name
+//	perple-convert -file my.litmus -o out/     # litmus7-style file
+//	perple-convert -test sb -print             # dump to stdout
+//	perple-convert -test sb -outcomes all      # all outcomes, not just target
+//	perple-convert -list                       # list suite tests
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"perple/internal/core"
+	"perple/internal/litmus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "perple-convert: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	testName := flag.String("test", "", "suite test name (see -list)")
+	file := flag.String("file", "", "litmus7-style test file")
+	outDir := flag.String("o", ".", "output directory for generated files")
+	print := flag.Bool("print", false, "print generated files to stdout instead of writing them")
+	outcomes := flag.String("outcomes", "target", "outcomes of interest: target or all")
+	explain := flag.Bool("explain", false, "narrate the conversion steps (paper Figures 6 and 8) instead of emitting files")
+	list := flag.Bool("list", false, "list the built-in perpetual suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range litmus.Suite() {
+			group := "forbidden"
+			if e.Allowed {
+				group = "allowed"
+			}
+			fmt.Printf("%-14s [%d,%d]  %-9s  %s\n", e.Test.Name, e.Test.T(), e.Test.TL(), group, e.Test.Doc)
+		}
+		return nil
+	}
+
+	test, err := loadTest(*testName, *file)
+	if err != nil {
+		return err
+	}
+
+	pt, err := core.Convert(test)
+	if err != nil {
+		return err
+	}
+
+	if *explain {
+		targets := []litmus.Outcome{test.Target}
+		if *outcomes == "all" {
+			targets = test.AllOutcomes()
+		}
+		for i, o := range targets {
+			if i > 0 {
+				fmt.Println()
+			}
+			_, ex, err := core.Explain(pt, o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(ex.String())
+		}
+		return nil
+	}
+
+	var pos []*core.PerpetualOutcome
+	switch *outcomes {
+	case "target":
+		po, err := core.ConvertOutcome(pt, test.Target)
+		if err != nil {
+			return err
+		}
+		pos = []*core.PerpetualOutcome{po}
+	case "all":
+		if pos, err = core.ConvertAllOutcomes(pt); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -outcomes %q (want target or all)", *outcomes)
+	}
+
+	files := core.GeneratedFiles(pt, pos)
+	names := core.SortedFileNames(files)
+	if *print {
+		for _, name := range names {
+			fmt.Printf("===== %s =====\n%s\n", name, files[name])
+		}
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range names {
+		path := filepath.Join(*outDir, name)
+		if err := os.WriteFile(path, []byte(files[name]), 0o644); err != nil {
+			return err
+		}
+		fmt.Println(path)
+	}
+	return nil
+}
+
+func loadTest(name, file string) (*litmus.Test, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("use either -test or -file, not both")
+	case name != "":
+		return litmus.SuiteTest(name)
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return litmus.Parse(string(src))
+	default:
+		return nil, fmt.Errorf("no input: pass -test <name> or -file <path> (or -list)")
+	}
+}

@@ -1,0 +1,83 @@
+// Command perple-experiments regenerates the PerpLE paper's evaluation
+// tables and figures (Section VII) on the simulated substrate.
+//
+// Usage:
+//
+//	perple-experiments [-exp all|table2|fig9|fig10|fig11|fig12|fig13|accuracy|overall]
+//	                   [-n N] [-seed S] [-quick] [-exhcap2 N] [-exhcap3 N]
+//
+// Each experiment prints a plain-text report to stdout; see EXPERIMENTS.md
+// for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"perple/internal/experiments"
+)
+
+var experimentOrder = []string{"table2", "fig9", "fig10", "fig11", "fig12", "fig13", "accuracy", "overall", "faultinject"}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, or one of "+strings.Join(experimentOrder, ", "))
+	n := flag.Int("n", 0, "iteration count override (0 = per-experiment paper default)")
+	seed := flag.Int64("seed", 1, "simulator seed")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	cap2 := flag.Int("exhcap2", 0, "exhaustive-counter iteration cap for TL<=2 tests (0 = default, -1 = uncapped)")
+	cap3 := flag.Int("exhcap3", 0, "exhaustive-counter iteration cap for TL=3 tests (0 = default, -1 = uncapped)")
+	flag.Parse()
+
+	opts := experiments.Options{
+		N: *n, Seed: *seed, Quick: *quick,
+		ExhaustiveCap2: *cap2, ExhaustiveCap3: *cap3,
+	}
+
+	runners := map[string]func(io.Writer, experiments.Options) error{
+		"table2":      wrap(experiments.TableII),
+		"fig9":        wrap(experiments.Fig9),
+		"fig10":       wrap(experiments.Fig10),
+		"fig11":       wrap(experiments.Fig11),
+		"fig12":       wrap(experiments.Fig12),
+		"fig13":       wrap(experiments.Fig13),
+		"accuracy":    wrap(experiments.HeuristicAccuracy),
+		"overall":     wrap(experiments.Overall),
+		"faultinject": wrap(experiments.FaultInjection),
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = experimentOrder
+	} else {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "perple-experiments: unknown experiment %q\n", *exp)
+			flag.Usage()
+			os.Exit(2)
+		}
+		names = []string{*exp}
+	}
+
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println("\n" + strings.Repeat("=", 78) + "\n")
+		}
+		start := time.Now()
+		if err := runners[name](os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "perple-experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// wrap adapts a typed experiment driver to the common runner signature.
+func wrap[T any](fn func(io.Writer, experiments.Options) (T, error)) func(io.Writer, experiments.Options) error {
+	return func(w io.Writer, opts experiments.Options) error {
+		_, err := fn(w, opts)
+		return err
+	}
+}

@@ -1,0 +1,201 @@
+// Command perple-suite runs a whole corpus of litmus tests — the built-in
+// Table II suite or a directory of .litmus files — under one testing
+// tool, printing a per-test summary and campaign totals. It is the
+// Section VII-G workflow as a tool: PerpLE for the convertible tests and
+// litmus7 for the rest.
+//
+// Usage:
+//
+//	perple-suite                                   # built-in suite, PerpLE heuristic
+//	perple-suite -dir testdata/suite -n 10000
+//	perple-suite -tool litmus7-timebase
+//	perple-suite -preset pso                       # fault-injection machine
+//	perple-suite -mixed                            # §VII-G campaign: PerpLE where
+//	                                               # convertible, litmus7-user elsewhere
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"perple/internal/core"
+	"perple/internal/harness"
+	"perple/internal/litmus"
+	"perple/internal/sim"
+	"perple/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "perple-suite: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir := flag.String("dir", "", "directory of .litmus files (default: the built-in Table II suite)")
+	tool := flag.String("tool", "perple-heur", "perple-heur, perple-exh, or litmus7-{user,userfence,pthread,timebase,none}")
+	mixed := flag.Bool("mixed", false, "run the Section VII-G campaign: PerpLE-heuristic for convertible tests, litmus7-user for the rest")
+	n := flag.Int("n", 10000, "iterations per test")
+	seed := flag.Int64("seed", 1, "simulator seed")
+	preset := flag.String("preset", "default", "machine preset (default, pso, slow-drain, fast-drain, no-preempt, heavy-preempt)")
+	exhCap := flag.Int("exhcap", 2000, "iteration cap for the exhaustive counter (-1 = uncapped)")
+	flag.Parse()
+
+	cfg, err := sim.Preset(*preset)
+	if err != nil {
+		return err
+	}
+	cfg = cfg.WithSeed(*seed)
+
+	tests, err := loadCorpus(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d tests, tool: %s, machine: %s, %d iterations each\n\n",
+		len(tests), toolName(*tool, *mixed), *preset, *n)
+
+	tb := stats.NewTable("test", "tool", "target", "ticks", "rate/Mtick", "note")
+	var totalTicks, totalTargets int64
+	for _, test := range tests {
+		row, err := runOne(test, *tool, *mixed, *n, *exhCap, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", test.Name, err)
+		}
+		totalTicks += row.ticks
+		totalTargets += row.target
+		tb.AddRow(test.Name, row.tool, row.target, row.ticks,
+			stats.Rate(row.target, row.ticks)*1e6, row.note)
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\ncampaign totals: %d target occurrences, %d simulated ticks\n", totalTargets, totalTicks)
+	return nil
+}
+
+type rowResult struct {
+	tool   string
+	target int64
+	ticks  int64
+	note   string
+}
+
+func runOne(test *litmus.Test, tool string, mixed bool, n, exhCap int, cfg sim.Config) (rowResult, error) {
+	convertible := !test.Target.HasMemConds()
+	useTool := tool
+	if mixed {
+		if convertible {
+			useTool = "perple-heur"
+		} else {
+			useTool = "litmus7-user"
+		}
+	}
+
+	if strings.HasPrefix(useTool, "litmus7-") {
+		mode, err := sim.ParseMode(strings.TrimPrefix(useTool, "litmus7-"))
+		if err != nil {
+			return rowResult{}, err
+		}
+		res, err := harness.RunLitmus7(test, n, mode, nil, cfg)
+		if err != nil {
+			return rowResult{}, err
+		}
+		return rowResult{tool: useTool, target: res.TargetCount, ticks: res.Ticks}, nil
+	}
+
+	if !convertible {
+		// PerpLE cannot run final-state targets: fall back, with a note,
+		// exactly as the paper prescribes (Section VII-G).
+		res, err := harness.RunLitmus7(test, n, sim.ModeUser, nil, cfg)
+		if err != nil {
+			return rowResult{}, err
+		}
+		return rowResult{tool: "litmus7-user", target: res.TargetCount, ticks: res.Ticks,
+			note: "not convertible"}, nil
+	}
+
+	pt, err := core.Convert(test)
+	if err != nil {
+		return rowResult{}, err
+	}
+	counter, err := core.NewTargetCounter(pt)
+	if err != nil {
+		return rowResult{}, err
+	}
+	opts := harness.PerpLEOptions{}
+	switch useTool {
+	case "perple-heur":
+		opts.Heuristic = true
+	case "perple-exh":
+		opts.Exhaustive = true
+		if exhCap > 0 {
+			opts.ExhaustiveCap = exhCap
+		}
+	default:
+		return rowResult{}, fmt.Errorf("unknown tool %q", useTool)
+	}
+	res, err := harness.RunPerpLE(pt, counter, n, opts, cfg)
+	if err != nil {
+		return rowResult{}, err
+	}
+	if useTool == "perple-exh" {
+		note := ""
+		if res.ExhaustiveN < n {
+			note = fmt.Sprintf("exh capped at %d", res.ExhaustiveN)
+		}
+		return rowResult{tool: useTool, target: res.Exhaustive.Counts[0],
+			ticks: res.TotalTicksExhaustive(), note: note}, nil
+	}
+	return rowResult{tool: useTool, target: res.Heuristic.Counts[0],
+		ticks: res.TotalTicksHeuristic()}, nil
+}
+
+func toolName(tool string, mixed bool) string {
+	if mixed {
+		return "mixed (PerpLE-heur + litmus7-user)"
+	}
+	return tool
+}
+
+// loadCorpus reads every .litmus file of a directory, or returns the
+// built-in suite plus the non-convertible examples when dir is empty.
+func loadCorpus(dir string) ([]*litmus.Test, error) {
+	if dir == "" {
+		var tests []*litmus.Test
+		for _, e := range litmus.Suite() {
+			tests = append(tests, e.Test)
+		}
+		tests = append(tests, litmus.NonConvertible()...)
+		return tests, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".litmus") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .litmus files in %s", dir)
+	}
+	var tests []*litmus.Test
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		test, err := litmus.Parse(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		tests = append(tests, test)
+	}
+	return tests, nil
+}

@@ -1,0 +1,3 @@
+module perple
+
+go 1.22

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"perple/internal/litmus"
+)
+
+// Explanation is the step-by-step derivation of a perpetual outcome,
+// mirroring the rows of Figures 6 and 8 of the paper.
+type Explanation struct {
+	Original litmus.Outcome
+	// Step1 lists the happens-before edge of each condition (rf from a
+	// store, fr to every store of the location, or an initial-zero
+	// check).
+	Step1 []string
+	// Step2 shows the conditions with registers replaced by buf slots.
+	Step2 []string
+	// Step3 shows integer values replaced by generic sequence members.
+	Step3 []string
+	// Step4 is the final inequality conjunction (the exhaustive
+	// condition, PerpetualOutcome.Constraints).
+	Step4 []string
+	// Step5 describes the heuristic substitution plan (pins).
+	Step5 []string
+	// Notes carries special cases: unsatisfiable outcomes, coherence
+	// rejections, existential variables.
+	Notes []string
+}
+
+// String renders the explanation as an indented block.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "original outcome: %v\n", e.Original)
+	steps := []struct {
+		title string
+		rows  []string
+	}{
+		{"1) happens-before edges", e.Step1},
+		{"2) replace registers", e.Step2},
+		{"3) replace integer values", e.Step3},
+		{"4) turn to inequalities", e.Step4},
+		{"5) heuristic substitution", e.Step5},
+	}
+	for _, s := range steps {
+		fmt.Fprintf(&b, "%s:\n", s.title)
+		for _, r := range s.rows {
+			fmt.Fprintf(&b, "    %s\n", r)
+		}
+	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Explain derives a perpetual outcome and narrates every conversion step
+// of Section IV, as the paper's Figures 6 and 8 do for sb. It returns the
+// converted outcome alongside the narration.
+func Explain(pt *PerpetualTest, o litmus.Outcome) (*PerpetualOutcome, *Explanation, error) {
+	po, err := ConvertOutcome(pt, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := &Explanation{Original: o}
+	varName := func(thread int) string {
+		return fmt.Sprintf("n%d", thread)
+	}
+
+	for _, cond := range o.Conds {
+		slot, ok := pt.SlotOf(cond.Thread, cond.Reg)
+		if !ok {
+			continue
+		}
+		loc := pt.LoadLoc[cond.Thread][slot]
+		bufRef := fmt.Sprintf("buf%d[%d*%s+%d]", cond.Thread, pt.Reads[cond.Thread], varName(cond.Thread), slot)
+		if pt.Reads[cond.Thread] == 1 {
+			bufRef = fmt.Sprintf("buf%d[%s]", cond.Thread, varName(cond.Thread))
+		}
+
+		switch {
+		case cond.Value == 0 && pt.K[loc] == 0:
+			ex.Step1 = append(ex.Step1, fmt.Sprintf("%v: [%s] is never stored; the load always returns the initial 0", cond, loc))
+			ex.Step2 = append(ex.Step2, fmt.Sprintf("%s = 0", bufRef))
+			ex.Step3 = append(ex.Step3, fmt.Sprintf("%s = 0 (no sequence)", bufRef))
+			ex.Step4 = append(ex.Step4, fmt.Sprintf("%s == 0", bufRef))
+		case cond.Value == 0:
+			for _, s := range pt.Stores {
+				if s.Loc != loc {
+					continue
+				}
+				ex.Step1 = append(ex.Step1, fmt.Sprintf("%v: fr — the load happened before store %v of thread %d",
+					cond, s.Ref, s.Ref.Thread))
+				ex.Step2 = append(ex.Step2, fmt.Sprintf("%s = 0", bufRef))
+				ex.Step3 = append(ex.Step3, fmt.Sprintf("%s older than %d*%s+%d", bufRef, s.K, varName(s.Ref.Thread), s.A))
+				ex.Step4 = append(ex.Step4, fmt.Sprintf("%s <= %d*%s+%d", bufRef, s.K, varName(s.Ref.Thread), s.A-1))
+			}
+		default:
+			s := pt.StoreForValue(loc, cond.Value)
+			if s == nil {
+				ex.Notes = append(ex.Notes, fmt.Sprintf("%v expects a value no thread stores: outcome unsatisfiable", cond))
+				continue
+			}
+			ex.Step1 = append(ex.Step1, fmt.Sprintf("%v: rf — the load read store %v of thread %d",
+				cond, s.Ref, s.Ref.Thread))
+			ex.Step2 = append(ex.Step2, fmt.Sprintf("%s = %d", bufRef, cond.Value))
+			ex.Step3 = append(ex.Step3, fmt.Sprintf("%s = %d*%s+%d", bufRef, s.K, varName(s.Ref.Thread), s.A))
+			ex.Step4 = append(ex.Step4, fmt.Sprintf("%s >= %d*%s+%d", bufRef, s.K, varName(s.Ref.Thread), s.A))
+		}
+	}
+
+	if po.Unsatisfiable {
+		if po.CoherenceViolation {
+			ex.Notes = append(ex.Notes, "outcome rejected by the write-serialization cycle check: "+
+				"its designated read-from sources cannot be drain-ordered consistently; both counters report 0")
+		} else {
+			ex.Notes = append(ex.Notes, "outcome unsatisfiable; both counters report 0")
+		}
+		return po, ex, nil
+	}
+
+	for _, p := range po.Pins {
+		switch p.Kind {
+		case PinDiagonal:
+			ex.Step5 = append(ex.Step5, fmt.Sprintf("%s := %s (diagonal fallback: no condition observes thread %d)",
+				varName(p.Var), varName(po.FrameVars[0]), p.Var))
+		case PinRF:
+			c := po.Constraints[p.Constraint]
+			ex.Step5 = append(ex.Step5, fmt.Sprintf("%s := decode(buf%d[...]) (rf pin: the value identifies thread %d's iteration exactly; constraint %d)",
+				varName(p.Var), c.Ref.Thread, p.Var, p.Constraint))
+		case PinFR:
+			c := po.Constraints[p.Constraint]
+			ex.Step5 = append(ex.Step5, fmt.Sprintf("%s := tightest(buf%d[...]) (fr pin: smallest iteration satisfying constraint %d)",
+				varName(p.Var), c.Ref.Thread, p.Constraint))
+		}
+	}
+	if len(po.Pins) == 0 && pt.TL() > 0 {
+		ex.Step5 = append(ex.Step5, "no substitution needed: the anchor index evaluates every condition")
+	}
+	for _, ev := range po.ExistVars {
+		if !pinsVar(po.Pins, ev) {
+			ex.Notes = append(ex.Notes, fmt.Sprintf(
+				"thread %d performs no loads: its iteration variable %s is existential (interval intersection)", ev, varName(ev)))
+		}
+	}
+	return po, ex, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// CountExhaustiveParallel is Algorithm 1 fanned out over worker
+// goroutines: the outermost frame index is partitioned, each worker walks
+// its slab with an independent Counter clone, and the per-outcome counts
+// are summed. The result is identical to CountExhaustive (frame
+// evaluation is read-only and first-match-wins is per frame). workers ≤ 0
+// selects GOMAXPROCS. An engineering extension over the paper's
+// single-threaded C counters — the frame walk is embarrassingly parallel.
+func (c *Counter) CountExhaustiveParallel(bs *BufSet, workers int) (*CountResult, error) {
+	if err := bs.Validate(c.pt); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := bs.N
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || c.pt.TL() == 0 || n == 0 {
+		return c.CountExhaustive(bs)
+	}
+
+	results := make([]*CountResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w], errs[w] = c.Clone().countExhaustiveSlab(bs, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := &CountResult{Counts: make([]int64, len(c.outcomes))}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, fmt.Errorf("core: parallel count worker %d: %w", w, errs[w])
+		}
+		total.Frames += results[w].Frames
+		for i, v := range results[w].Counts {
+			total.Counts[i] += v
+		}
+	}
+	return total, nil
+}
+
+// countExhaustiveSlab walks the frames whose outermost (first load
+// thread) index lies in [lo, hi).
+func (c *Counter) countExhaustiveSlab(bs *BufSet, lo, hi int) (*CountResult, error) {
+	res := &CountResult{Counts: make([]int64, len(c.outcomes))}
+	if lo >= hi {
+		return res, nil
+	}
+	n := int64(bs.N)
+	tl := c.pt.TL()
+	idx := make([]int64, tl)
+	idx[0] = int64(lo)
+	for {
+		for i, t := range c.pt.LoadThreads {
+			c.vals[t] = idx[i]
+		}
+		res.Frames++
+		for oi, po := range c.outcomes {
+			if c.eval(po, bs, n) {
+				res.Counts[oi]++
+				break
+			}
+		}
+		i := tl - 1
+		for i >= 0 {
+			idx[i]++
+			bound := n
+			if i == 0 {
+				bound = int64(hi)
+			}
+			if idx[i] < bound {
+				break
+			}
+			if i == 0 {
+				return res, nil
+			}
+			idx[i] = 0
+			i--
+		}
+		if i < 0 {
+			return res, nil
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultInjectionExperiment validates the extension experiment: a
+// machine that claims TSO but implements PSO must be caught by PerpLE on
+// every injected bug, with no sightings of targets PSO also forbids.
+func TestFaultInjectionExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf strings.Builder
+	res, err := FaultInjection(&buf, Options{N: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BugsDetectable != 3 {
+		t.Errorf("injected bugs = %d, want 3 (mp, safe018, safe028)", res.BugsDetectable)
+	}
+	if res.BugsDetectedPerpLE != res.BugsDetectable {
+		t.Errorf("PerpLE detected %d of %d injected bugs", res.BugsDetectedPerpLE, res.BugsDetectable)
+	}
+	if res.FalsePositives != 0 {
+		t.Errorf("PSO-forbidden targets sighted %d times, want 0", res.FalsePositives)
+	}
+	// The injected-bug rows are exactly the W→W-relaxation family.
+	bugs := map[string]bool{}
+	for _, r := range res.Rows {
+		if r.InjectedBug {
+			bugs[r.Name] = true
+		}
+		// Classification sanity: PSO must allow everything TSO allows.
+		if r.TSOAllowed && !r.PSOAllowed {
+			t.Errorf("%s: TSO-allowed but PSO-forbidden, impossible", r.Name)
+		}
+	}
+	for _, want := range []string{"mp", "safe018", "safe028"} {
+		if !bugs[want] {
+			t.Errorf("expected %s to be an injected bug", want)
+		}
+	}
+	if !strings.Contains(buf.String(), "BUG:caught") {
+		t.Error("report does not mark any caught bug")
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import "sync"
+
+// forEachSuiteEntry runs fn over indices 0..n-1 on a bounded worker pool.
+// Experiment cells are independent simulations (each carries its own
+// seeded RNG), so fanning them out changes wall time, not results; the
+// callers write into pre-sized slices or locked maps to stay
+// deterministic.
+func forEachIndex(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

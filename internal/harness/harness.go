@@ -1,0 +1,176 @@
+// Package harness runs litmus tests against the simulated machine in the
+// two styles the PerpLE paper compares: the litmus7-equivalent iterative
+// runner with five thread-synchronization modes (RunLitmus7), and the
+// PerpLE runner that executes a perpetual test synchronization-free and
+// applies the exhaustive and/or heuristic outcome counters (RunPerpLE).
+// It also measures thread skew from perpetual run results (skew.go),
+// implementing Section VI-B5 of the paper.
+//
+// Every result carries both simulated ticks (the deterministic runtime
+// model used for the paper's speedup figures) and host wall time (used by
+// the testing.B benchmarks for the genuinely algorithmic claims).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"perple/internal/litmus"
+	"perple/internal/sim"
+)
+
+// Litmus7Result is the outcome of a litmus7-style run.
+type Litmus7Result struct {
+	Test *litmus.Test
+	Mode sim.Mode
+	N    int
+
+	// Histogram maps each observed full-outcome key (litmus.Outcome.Key
+	// over every register) to its occurrence count, like litmus7's
+	// "Histogram" output section.
+	Histogram map[string]int64
+
+	// OutcomeCounts[i] counts iterations satisfying the i-th outcome of
+	// interest passed to RunLitmus7.
+	OutcomeCounts []int64
+
+	// TargetCount counts iterations satisfying the test's target outcome.
+	TargetCount int64
+
+	// Ticks is the simulated runtime, including synchronization.
+	Ticks int64
+	// Wall is the host time spent simulating and tallying.
+	Wall time.Duration
+	// Trace holds the machine-event trace when Config.TraceSize > 0.
+	Trace *sim.Trace
+}
+
+// compiledCond is an outcome condition resolved to flat-array offsets.
+type compiledCond struct {
+	mem bool
+	t   int   // thread (register conds)
+	off int   // register offset within the iteration block
+	li  int   // location index (memory conds)
+	v   int64 // expected value
+}
+
+type compiledOutcome struct{ conds []compiledCond }
+
+func compileOutcome(t *litmus.Test, o litmus.Outcome, regCounts []int, locIdx map[litmus.Loc]int) (compiledOutcome, error) {
+	var co compiledOutcome
+	for _, c := range o.Conds {
+		if c.IsMem() {
+			li, ok := locIdx[c.Loc]
+			if !ok {
+				return co, fmt.Errorf("harness: %s: outcome references unknown location %q", t.Name, c.Loc)
+			}
+			co.conds = append(co.conds, compiledCond{mem: true, li: li, v: c.Value})
+			continue
+		}
+		if c.Thread < 0 || c.Thread >= len(regCounts) || c.Reg < 0 || c.Reg >= regCounts[c.Thread] {
+			return co, fmt.Errorf("harness: %s: outcome condition %v out of range", t.Name, c)
+		}
+		co.conds = append(co.conds, compiledCond{t: c.Thread, off: c.Reg, v: c.Value})
+	}
+	return co, nil
+}
+
+func (co compiledOutcome) match(res *sim.SyncedResult, iter int) bool {
+	for _, c := range co.conds {
+		if c.mem {
+			if res.Mem[c.li*res.N+iter] != c.v {
+				return false
+			}
+			continue
+		}
+		if res.Regs[c.t][iter*res.RegCounts[c.t]+c.off] != c.v {
+			return false
+		}
+	}
+	return true
+}
+
+// RunLitmus7 executes n iterations of the test under the given
+// synchronization mode and tallies the target outcome, the optional extra
+// outcomes of interest, and the full observed-outcome histogram.
+func RunLitmus7(t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome, cfg sim.Config) (*Litmus7Result, error) {
+	start := time.Now()
+	simRes, err := sim.RunSynced(t, n, mode, cfg)
+	if err != nil {
+		return nil, err
+	}
+	locIdx := make(map[litmus.Loc]int, len(simRes.Locs))
+	for i, l := range simRes.Locs {
+		locIdx[l] = i
+	}
+	target, err := compileOutcome(t, t.Target, simRes.RegCounts, locIdx)
+	if err != nil {
+		return nil, err
+	}
+	compiled := make([]compiledOutcome, len(outcomes))
+	for i, o := range outcomes {
+		if compiled[i], err = compileOutcome(t, o, simRes.RegCounts, locIdx); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Litmus7Result{
+		Test:          t,
+		Mode:          mode,
+		N:             n,
+		Histogram:     map[string]int64{},
+		OutcomeCounts: make([]int64, len(outcomes)),
+		Ticks:         simRes.Ticks,
+		Trace:         simRes.Trace,
+	}
+	key := make([]byte, 0, 64)
+	for iter := 0; iter < n; iter++ {
+		if target.match(simRes, iter) {
+			res.TargetCount++
+		}
+		for i := range compiled {
+			if compiled[i].match(simRes, iter) {
+				res.OutcomeCounts[i]++
+			}
+		}
+		key = key[:0]
+		for ti, rc := range simRes.RegCounts {
+			for r := 0; r < rc; r++ {
+				key = appendKeyInt(key, simRes.Regs[ti][iter*rc+r])
+			}
+			if rc > 0 {
+				key = append(key, '|')
+			}
+			_ = ti
+		}
+		res.Histogram[string(key)]++
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+func appendKeyInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	if v >= 10 {
+		b = appendKeyInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10), ',')
+}
+
+// OutcomeKey renders a register file the way Litmus7Result histogram keys
+// are built, for cross-referencing histogram entries with outcomes.
+func OutcomeKey(regs [][]int64) string {
+	key := make([]byte, 0, 64)
+	for _, rs := range regs {
+		for _, v := range rs {
+			key = appendKeyInt(key, v)
+		}
+		if len(rs) > 0 {
+			key = append(key, '|')
+		}
+	}
+	return string(key)
+}

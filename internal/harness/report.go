@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perple/internal/litmus"
+)
+
+// FormatLitmus7Report renders a run result in the classic litmus7 output
+// style — the format hardware-validation engineers read:
+//
+//	Test sb Allowed
+//	Histogram (4 states)
+//	588   *> 0:EAX=0; 1:EAX=0;
+//	4704   > 0:EAX=0; 1:EAX=1;
+//	...
+//	Ok
+//	Witnesses
+//	Positive: 588, Negative: 9412
+//	Condition exists (0:EAX=0 /\ 1:EAX=0) is validated
+//	Observation sb Sometimes 588 9412
+//	Time sb 1391647 ticks
+//
+// States satisfying the target are flagged with `*>`; the Observation
+// verdict is Never / Sometimes / Always, as litmus7 prints it.
+func FormatLitmus7Report(res *Litmus7Result) string {
+	t := res.Test
+	var b strings.Builder
+	fmt.Fprintf(&b, "Test %s Allowed\n", t.Name)
+
+	// Histogram sorted by state key for determinism; annotate states that
+	// satisfy the target.
+	keys := make([]string, 0, len(res.Histogram))
+	for k := range res.Histogram {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(&b, "Histogram (%d states)\n", len(keys))
+	for _, k := range keys {
+		marker := " >"
+		if stateMatchesTarget(t, k) {
+			marker = "*>"
+		}
+		fmt.Fprintf(&b, "%-8d%s %s\n", res.Histogram[k], marker, formatState(t, k))
+	}
+
+	positive := res.TargetCount
+	negative := int64(res.N) - positive
+	if positive > 0 {
+		b.WriteString("Ok\n")
+	} else {
+		b.WriteString("No\n")
+	}
+	b.WriteString("Witnesses\n")
+	fmt.Fprintf(&b, "Positive: %d, Negative: %d\n", positive, negative)
+	validated := "is validated"
+	if positive == 0 {
+		validated = "is NOT validated"
+	}
+	fmt.Fprintf(&b, "Condition exists (%s) %s\n", conditionString(t.Target), validated)
+	fmt.Fprintf(&b, "Observation %s %s %d %d\n", t.Name, observation(positive, negative), positive, negative)
+	fmt.Fprintf(&b, "Time %s %d ticks (%v host)\n", t.Name, res.Ticks, res.Wall.Round(10_000))
+	return b.String()
+}
+
+func observation(pos, neg int64) string {
+	switch {
+	case pos == 0:
+		return "Never"
+	case neg == 0:
+		return "Always"
+	default:
+		return "Sometimes"
+	}
+}
+
+// stateMatchesTarget checks a histogram key against the target's register
+// conditions (memory conditions cannot be recovered from the key and make
+// the state unflaggable; litmus7 keys carry final memory too, which this
+// harness tallies separately).
+func stateMatchesTarget(t *litmus.Test, key string) bool {
+	regs, ok := parseStateKey(t, key)
+	if !ok || t.Target.HasMemConds() {
+		return false
+	}
+	return t.Target.Holds(regs)
+}
+
+// formatState renders a histogram key litmus7-style: `0:EAX=1; 1:EBX=0;`.
+func formatState(t *litmus.Test, key string) string {
+	regs, ok := parseStateKey(t, key)
+	if !ok {
+		return key
+	}
+	var parts []string
+	for ti, rs := range regs {
+		for r, v := range rs {
+			parts = append(parts, fmt.Sprintf("%d:%s=%d;", ti, litmus7RegName(r), v))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+var litmus7Regs = []string{"EAX", "EBX", "ECX", "EDX", "ESI", "EDI"}
+
+func litmus7RegName(idx int) string {
+	if idx < len(litmus7Regs) {
+		return litmus7Regs[idx]
+	}
+	return fmt.Sprintf("R%d", idx)
+}
+
+// parseStateKey inverts the histogram key built by RunLitmus7
+// ("1,0,|2,|": comma-terminated values, '|' per thread).
+func parseStateKey(t *litmus.Test, key string) ([][]int64, bool) {
+	regCounts := t.Regs()
+	regs := make([][]int64, len(regCounts))
+	ti := 0
+	var cur []int64
+	var val int64
+	neg := false
+	inNum := false
+	for i := 0; i < len(key); i++ {
+		switch ch := key[i]; {
+		case ch == '-':
+			neg = true
+		case ch >= '0' && ch <= '9':
+			val = val*10 + int64(ch-'0')
+			inNum = true
+		case ch == ',':
+			if !inNum {
+				return nil, false
+			}
+			if neg {
+				val = -val
+			}
+			cur = append(cur, val)
+			val, neg, inNum = 0, false, false
+		case ch == '|':
+			if ti >= len(regs) {
+				return nil, false
+			}
+			regs[ti] = cur
+			cur = nil
+			ti++
+		default:
+			return nil, false
+		}
+	}
+	// Threads with zero registers produce no '|' in the key; pad them.
+	full := make([][]int64, len(regCounts))
+	src := 0
+	for i, rc := range regCounts {
+		if rc == 0 {
+			full[i] = nil
+			continue
+		}
+		for src < len(regs) && len(regs[src]) == 0 {
+			src++
+		}
+		if src >= len(regs) || len(regs[src]) != rc {
+			return nil, false
+		}
+		full[i] = regs[src]
+		src++
+	}
+	return full, true
+}
+
+func conditionString(o litmus.Outcome) string {
+	parts := make([]string, len(o.Conds))
+	for i, c := range o.Conds {
+		if c.IsMem() {
+			parts[i] = fmt.Sprintf("[%s]=%d", c.Loc, c.Value)
+		} else {
+			parts[i] = fmt.Sprintf("%d:%s=%d", c.Thread, litmus7RegName(c.Reg), c.Value)
+		}
+	}
+	return strings.Join(parts, ` /\ `)
+}

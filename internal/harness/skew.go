@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"perple/internal/core"
+)
+
+// SkewSample is one thread-skew observation (Section VI-B5): while
+// executing iteration N of thread Observer, the loaded value identified
+// iteration M of thread Storer; Skew = N − M.
+type SkewSample struct {
+	Observer, Storer int
+	N, M             int64
+	Skew             int64
+}
+
+// MeasureSkew extracts every decodable skew observation from a perpetual
+// run's buf arrays: each loaded value on some store's arithmetic sequence
+// identifies the iteration that stored it, and the difference between the
+// loading and storing iterations is the thread skew around that moment.
+// Loads of the initial 0, and loads from the observer's own stores, yield
+// no cross-thread sample and are skipped.
+func MeasureSkew(pt *core.PerpetualTest, bs *core.BufSet) []SkewSample {
+	var samples []SkewSample
+	for _, t := range pt.LoadThreads {
+		r := pt.Reads[t]
+		for n := 0; n < bs.N; n++ {
+			for slot := 0; slot < r; slot++ {
+				v := bs.Bufs[t][r*n+slot]
+				store, m, ok := core.DecodeValue(pt, pt.LoadLoc[t][slot], v)
+				if !ok || store.Ref.Thread == t {
+					continue
+				}
+				samples = append(samples, SkewSample{
+					Observer: t,
+					Storer:   store.Ref.Thread,
+					N:        int64(n),
+					M:        m,
+					Skew:     int64(n) - m,
+				})
+			}
+		}
+	}
+	return samples
+}
+
+// SkewValues projects the samples to their skew magnitudes, optionally
+// restricted to one (observer, storer) pair; pass -1 to leave a side
+// unrestricted.
+func SkewValues(samples []SkewSample, observer, storer int) []int64 {
+	var out []int64
+	for _, s := range samples {
+		if observer >= 0 && s.Observer != observer {
+			continue
+		}
+		if storer >= 0 && s.Storer != storer {
+			continue
+		}
+		out = append(out, s.Skew)
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package hb
+
+import (
+	"fmt"
+
+	"perple/internal/litmus"
+)
+
+// Execution is a candidate execution of one iteration of a litmus test: a
+// read-from assignment for every load (which store event, possibly init,
+// each load reads) and a write-serialization order for every location.
+// Together with the fixed program order, an Execution determines every
+// happens-before edge.
+type Execution struct {
+	Test   *litmus.Test
+	Events []Event
+	// RF maps the event ID of each load to the event ID of the store it
+	// reads (ID 0 = init).
+	RF map[int]int
+	// WS maps each location to the event IDs of its stores in
+	// serialization order. The init pseudo-store (ID 0) is implicitly
+	// first and omitted.
+	WS map[litmus.Loc][]int
+}
+
+// Value returns the value a load event reads under this execution.
+func (x *Execution) Value(loadID int) int64 {
+	src := x.RF[loadID]
+	if src == 0 {
+		return x.Test.Init[x.Events[loadID].Instr.Loc]
+	}
+	return x.Events[src].Instr.Value
+}
+
+// RegisterFile returns the final per-thread register values implied by
+// the execution: for each register, the value of its last load in program
+// order.
+func (x *Execution) RegisterFile() [][]int64 {
+	regs := make([][]int64, len(x.Test.Threads))
+	for ti, n := range x.Test.Regs() {
+		regs[ti] = make([]int64, n)
+	}
+	for id, e := range x.Events {
+		if e.IsInit() || e.Instr.Kind != litmus.OpLoad {
+			continue
+		}
+		regs[e.Thread][e.Instr.Reg] = x.Value(id)
+	}
+	return regs
+}
+
+// FinalMemory returns the final value of every location: the last store
+// in ws order, or the initial value if never stored.
+func (x *Execution) FinalMemory() map[litmus.Loc]int64 {
+	mem := map[litmus.Loc]int64{}
+	for _, loc := range x.Test.Locs() {
+		mem[loc] = x.Test.Init[loc]
+	}
+	for loc, stores := range x.WS {
+		if len(stores) > 0 {
+			mem[loc] = x.Events[stores[len(stores)-1]].Instr.Value
+		}
+	}
+	return mem
+}
+
+// wsPos returns the position of a store event in its location's
+// serialization order; init is position -1.
+func (x *Execution) wsPos(storeID int) int {
+	if storeID == 0 {
+		return -1
+	}
+	loc := x.Events[storeID].Instr.Loc
+	for i, id := range x.WS[loc] {
+		if id == storeID {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("hb: store %v not in ws order of %s", x.Events[storeID], loc))
+}
+
+// GraphOpts selects which edges Graph builds, so one Execution can be
+// checked against different memory models.
+type GraphOpts struct {
+	// RelaxStoreLoad omits po edges from a store to a po-later load
+	// (unless an MFENCE separates them), modelling TSO's store buffering.
+	// With it false the graph carries full program order (SC).
+	RelaxStoreLoad bool
+	// RelaxStoreStore additionally omits po edges between stores to
+	// different locations (unless fenced), modelling PSO's per-location
+	// store buffers. Same-location store order (coherence) is always
+	// preserved.
+	RelaxStoreStore bool
+	// ExternalRFOnly omits rf edges within a single thread, modelling
+	// store-to-load forwarding: an internal read does not prove the store
+	// reached memory.
+	ExternalRFOnly bool
+}
+
+// Graph constructs the happens-before graph of the execution under the
+// given options: program order (possibly relaxed), fence order, rf
+// (possibly external-only), ws, and derived fr edges.
+func (x *Execution) Graph(opts GraphOpts) *Graph {
+	g := NewGraph(x.Events)
+
+	// Program order and fence order, per thread.
+	for ti := range x.Test.Threads {
+		var ids []int
+		for id, e := range x.Events {
+			if e.Thread == ti {
+				ids = append(ids, id)
+			}
+		}
+		for i := 0; i < len(ids); i++ {
+			ei := x.Events[ids[i]]
+			if ei.Instr.Kind == litmus.OpFence {
+				continue
+			}
+			fenced := false
+			for j := i + 1; j < len(ids); j++ {
+				ej := x.Events[ids[j]]
+				if ej.Instr.Kind == litmus.OpFence {
+					fenced = true
+					continue
+				}
+				relaxed := false
+				if ei.Instr.Kind == litmus.OpStore {
+					switch ej.Instr.Kind {
+					case litmus.OpLoad:
+						relaxed = opts.RelaxStoreLoad
+					case litmus.OpStore:
+						relaxed = opts.RelaxStoreStore && ei.Instr.Loc != ej.Instr.Loc
+					}
+				}
+				switch {
+				case !relaxed:
+					g.AddEdge(ids[i], ids[j], Po)
+				case fenced:
+					g.AddEdge(ids[i], ids[j], FenceOrd)
+				}
+			}
+		}
+	}
+
+	// ws edges: init before every store; stores in serialization order.
+	for _, stores := range x.WS {
+		prev := 0
+		for _, id := range stores {
+			g.AddEdge(prev, id, Ws)
+			prev = id
+		}
+	}
+
+	// rf and fr edges.
+	for loadID, storeID := range x.RF {
+		internal := storeID != 0 && x.Events[storeID].Thread == x.Events[loadID].Thread
+		if !(opts.ExternalRFOnly && internal) && storeID != loadID {
+			g.AddEdge(storeID, loadID, Rf)
+		}
+		// fr: the load happens before every store ws-after its source.
+		loc := x.Events[loadID].Instr.Loc
+		pos := x.wsPos(storeID)
+		for i, sid := range x.WS[loc] {
+			if i > pos {
+				g.AddEdge(loadID, sid, Fr)
+			}
+		}
+	}
+	return g
+}
+
+// CoherenceGraph builds the per-location coherence ("uniproc") graph:
+// program order restricted to same-location events, plus full rf, ws and
+// fr. Acyclicity of this graph is required by every coherent model,
+// including TSO; it is what forbids stale re-reads (mp+staleld, safe006).
+func (x *Execution) CoherenceGraph() *Graph {
+	g := NewGraph(x.Events)
+	for ti := range x.Test.Threads {
+		var ids []int
+		for id, e := range x.Events {
+			if e.Thread == ti && e.Instr.Kind != litmus.OpFence {
+				ids = append(ids, id)
+			}
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if x.Events[ids[i]].Instr.Loc == x.Events[ids[j]].Instr.Loc {
+					g.AddEdge(ids[i], ids[j], Po)
+				}
+			}
+		}
+	}
+	for _, stores := range x.WS {
+		prev := 0
+		for _, id := range stores {
+			g.AddEdge(prev, id, Ws)
+			prev = id
+		}
+	}
+	for loadID, storeID := range x.RF {
+		if storeID != loadID {
+			g.AddEdge(storeID, loadID, Rf)
+		}
+		loc := x.Events[loadID].Instr.Loc
+		pos := x.wsPos(storeID)
+		for i, sid := range x.WS[loc] {
+			if i > pos {
+				g.AddEdge(loadID, sid, Fr)
+			}
+		}
+	}
+	return g
+}
+
+// Enumerate yields every candidate execution of the test: all read-from
+// assignments crossed with all per-location write-serialization orders.
+// The visit function may retain the Execution; a fresh one is passed per
+// call. Enumeration is deterministic.
+func Enumerate(t *litmus.Test, visit func(*Execution)) {
+	events := EventsOf(t)
+
+	// Collect loads and per-location stores.
+	var loads []int
+	storesByLoc := map[litmus.Loc][]int{}
+	for id, e := range events {
+		if e.IsInit() {
+			continue
+		}
+		switch e.Instr.Kind {
+		case litmus.OpLoad:
+			loads = append(loads, id)
+		case litmus.OpStore:
+			storesByLoc[e.Instr.Loc] = append(storesByLoc[e.Instr.Loc], id)
+		}
+	}
+
+	locs := t.Locs()
+	// Write-serialization orders per location: all permutations.
+	wsChoices := make([][][]int, len(locs))
+	for i, loc := range locs {
+		wsChoices[i] = permutations(storesByLoc[loc])
+	}
+
+	// Read-from choices per load: init or any store to the location.
+	rfChoices := make([][]int, len(loads))
+	for i, id := range loads {
+		loc := events[id].Instr.Loc
+		rfChoices[i] = append([]int{0}, storesByLoc[loc]...)
+	}
+
+	// Odometer over ws choices × rf choices.
+	wsIdx := make([]int, len(locs))
+	for {
+		ws := map[litmus.Loc][]int{}
+		for i, loc := range locs {
+			if len(wsChoices[i]) > 0 {
+				ws[loc] = wsChoices[i][wsIdx[i]]
+			}
+		}
+		rfIdx := make([]int, len(loads))
+		for {
+			rf := make(map[int]int, len(loads))
+			for i, id := range loads {
+				rf[id] = rfChoices[i][rfIdx[i]]
+			}
+			visit(&Execution{Test: t, Events: events, RF: rf, WS: ws})
+			if !inc(rfIdx, func(i int) int { return len(rfChoices[i]) }) {
+				break
+			}
+		}
+		if !inc(wsIdx, func(i int) int { return len(wsChoices[i]) }) {
+			return
+		}
+	}
+}
+
+// inc advances a mixed-radix odometer; it returns false on wrap-around.
+func inc(idx []int, radix func(int) int) bool {
+	for i := len(idx) - 1; i >= 0; i-- {
+		idx[i]++
+		if idx[i] < radix(i) {
+			return true
+		}
+		idx[i] = 0
+	}
+	return false
+}
+
+// permutations returns all orderings of ids; for an empty input it
+// returns a single empty permutation.
+func permutations(ids []int) [][]int {
+	if len(ids) == 0 {
+		return [][]int{nil}
+	}
+	var out [][]int
+	var rec func(cur, rest []int)
+	rec = func(cur, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := range rest {
+			next := append(cur, rest[i])
+			var rem []int
+			rem = append(rem, rest[:i]...)
+			rem = append(rem, rest[i+1:]...)
+			rec(next, rem)
+		}
+	}
+	rec(nil, ids)
+	return out
+}

@@ -1,0 +1,210 @@
+// Package hb implements happens-before graphs over litmus test memory
+// events (Section II-B2 of the PerpLE paper, after Alglave's formal
+// hierarchy): program-order (po), read-from (rf), write-serialization
+// (ws) and from-read (fr) edges, plus fence-induced ordering, with cycle
+// detection. It is the foundation of the axiomatic memory-model checker
+// in internal/memmodel and of the Converter's outcome analysis in
+// internal/core.
+package hb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perple/internal/litmus"
+)
+
+// EdgeKind classifies a happens-before edge.
+type EdgeKind int
+
+const (
+	// Po is program order: a sequential processor executes the source
+	// before the destination.
+	Po EdgeKind = iota
+	// Rf is read-from: the destination load reads the value written by the
+	// source store.
+	Rf
+	// Ws is write serialization: both events store to the same location
+	// and the source takes effect first.
+	Ws
+	// Fr is from-read: the source load reads a value overwritten by the
+	// destination store.
+	Fr
+	// FenceOrd is the ordering a fence restores between a store and a
+	// later load of the same thread (x86 MFENCE).
+	FenceOrd
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Po:
+		return "po"
+	case Rf:
+		return "rf"
+	case Ws:
+		return "ws"
+	case Fr:
+		return "fr"
+	case FenceOrd:
+		return "mfence"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// Event is a single memory event: one dynamic execution of a load or
+// store instruction. Thread and Index identify the instruction; the
+// instruction itself is duplicated for convenience. The special event
+// with Thread == -1 represents the initial store of 0 to every location.
+type Event struct {
+	Thread int
+	Index  int
+	Instr  litmus.Instr
+}
+
+// IsInit reports whether the event is the initial-state pseudo-store.
+func (e Event) IsInit() bool { return e.Thread < 0 }
+
+func (e Event) String() string {
+	if e.IsInit() {
+		return "init"
+	}
+	return fmt.Sprintf("i%d%d", e.Thread, e.Index)
+}
+
+// Edge is a directed happens-before edge between two event IDs.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+}
+
+// Graph is a happens-before graph: a fixed event set plus a growing edge
+// set. Event IDs are indices into Events.
+type Graph struct {
+	Events []Event
+	adj    [][]Edge
+}
+
+// NewGraph creates a graph over the given events with no edges.
+func NewGraph(events []Event) *Graph {
+	return &Graph{Events: events, adj: make([][]Edge, len(events))}
+}
+
+// AddEdge inserts a directed edge; duplicate edges are permitted and
+// harmless.
+func (g *Graph) AddEdge(from, to int, kind EdgeKind) {
+	g.adj[from] = append(g.adj[from], Edge{From: from, To: to, Kind: kind})
+}
+
+// Edges returns all edges in insertion order grouped by source event.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, es := range g.adj {
+		out = append(out, es...)
+	}
+	return out
+}
+
+// Succs returns the out-edges of event id.
+func (g *Graph) Succs(id int) []Edge { return g.adj[id] }
+
+// HasCycle reports whether the edge set contains a directed cycle,
+// ignoring self-loops on the init pseudo-event (which never occur in
+// well-formed graphs anyway).
+func (g *Graph) HasCycle() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Events))
+	for root := range g.Events {
+		if color[root] != white {
+			continue
+		}
+		// Iterative DFS with an explicit edge cursor.
+		type frame struct{ node, next int }
+		frames := []frame{{root, 0}}
+		color[root] = grey
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < len(g.adj[f.node]) {
+				to := g.adj[f.node][f.next].To
+				f.next++
+				switch color[to] {
+				case grey:
+					return true
+				case white:
+					color[to] = grey
+					frames = append(frames, frame{to, 0})
+				}
+				continue
+			}
+			color[f.node] = black
+			frames = frames[:len(frames)-1]
+		}
+	}
+	return false
+}
+
+// Reachable reports whether to is reachable from from following edges.
+func (g *Graph) Reachable(from, to int) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, len(g.Events))
+	work := []int{from}
+	seen[from] = true
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range g.adj[n] {
+			if e.To == to {
+				return true
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return false
+}
+
+// String renders the graph as one edge per line, sorted, for debugging
+// and golden tests.
+func (g *Graph) String() string {
+	var lines []string
+	for _, e := range g.Edges() {
+		lines = append(lines, fmt.Sprintf("%s -%s-> %s",
+			g.Events[e.From], e.Kind, g.Events[e.To]))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Events enumerates the memory events of one iteration of every thread of
+// a test, in (thread, index) order, preceded by the init pseudo-event at
+// ID 0. Fences are included as events (they participate in po and
+// FenceOrd derivation) and are skipped by memory-order construction.
+func EventsOf(t *litmus.Test) []Event {
+	events := []Event{{Thread: -1, Index: -1}}
+	for ti, th := range t.Threads {
+		for ii, in := range th.Instrs {
+			events = append(events, Event{Thread: ti, Index: ii, Instr: in})
+		}
+	}
+	return events
+}
+
+// EventID returns the graph ID of instruction (thread, index) within the
+// event slice produced by EventsOf, or -1 if absent.
+func EventID(events []Event, thread, index int) int {
+	for id, e := range events {
+		if e.Thread == thread && e.Index == index {
+			return id
+		}
+	}
+	return -1
+}

@@ -1,0 +1,228 @@
+package hb
+
+import (
+	"strings"
+	"testing"
+
+	"perple/internal/litmus"
+)
+
+func sb(t *testing.T) *litmus.Test {
+	t.Helper()
+	test, err := litmus.SuiteTest("sb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return test
+}
+
+func TestEventsOf(t *testing.T) {
+	events := EventsOf(sb(t))
+	if len(events) != 5 {
+		t.Fatalf("sb has %d events, want 5 (init + 4)", len(events))
+	}
+	if !events[0].IsInit() {
+		t.Error("event 0 should be init")
+	}
+	if events[0].String() != "init" {
+		t.Errorf("init string = %q", events[0].String())
+	}
+	if got := EventID(events, 1, 0); got != 3 {
+		t.Errorf("EventID(1,0) = %d, want 3", got)
+	}
+	if got := EventID(events, 5, 0); got != -1 {
+		t.Errorf("EventID of absent instruction = %d, want -1", got)
+	}
+	if events[1].String() != "i00" {
+		t.Errorf("event 1 string = %q, want i00", events[1].String())
+	}
+}
+
+func TestGraphCycleDetection(t *testing.T) {
+	events := make([]Event, 4)
+	g := NewGraph(events)
+	g.AddEdge(0, 1, Po)
+	g.AddEdge(1, 2, Rf)
+	g.AddEdge(2, 3, Ws)
+	if g.HasCycle() {
+		t.Error("acyclic graph reported cyclic")
+	}
+	g.AddEdge(3, 1, Fr)
+	if !g.HasCycle() {
+		t.Error("cycle 1->2->3->1 not detected")
+	}
+}
+
+func TestGraphReachable(t *testing.T) {
+	g := NewGraph(make([]Event, 4))
+	g.AddEdge(0, 1, Po)
+	g.AddEdge(1, 2, Po)
+	if !g.Reachable(0, 2) {
+		t.Error("0 should reach 2")
+	}
+	if g.Reachable(2, 0) {
+		t.Error("2 should not reach 0")
+	}
+	if !g.Reachable(3, 3) {
+		t.Error("node should reach itself")
+	}
+}
+
+func TestEdgeKindStrings(t *testing.T) {
+	for kind, want := range map[EdgeKind]string{
+		Po: "po", Rf: "rf", Ws: "ws", Fr: "fr", FenceOrd: "mfence",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(kind), kind.String(), want)
+		}
+	}
+}
+
+// TestSBTargetGraph reconstructs the paper's Figure 6 happens-before
+// analysis for the sb target outcome: both loads read the initial value,
+// giving fr edges i01->i10 and i11->i00, which close a cycle with full
+// program order (SC-forbidden) but not with store->load order relaxed
+// (TSO-allowed).
+func TestSBTargetGraph(t *testing.T) {
+	test := sb(t)
+	events := EventsOf(test)
+	x := &Execution{
+		Test:   test,
+		Events: events,
+		RF: map[int]int{
+			EventID(events, 0, 1): 0, // i01 reads init y
+			EventID(events, 1, 1): 0, // i11 reads init x
+		},
+		WS: map[litmus.Loc][]int{
+			"x": {EventID(events, 0, 0)},
+			"y": {EventID(events, 1, 0)},
+		},
+	}
+	scGraph := x.Graph(GraphOpts{})
+	if !scGraph.HasCycle() {
+		t.Error("sb target should be cyclic under full po (SC-forbidden)")
+	}
+	tsoGraph := x.Graph(GraphOpts{RelaxStoreLoad: true, ExternalRFOnly: true})
+	if tsoGraph.HasCycle() {
+		t.Error("sb target should be acyclic with store->load relaxed (TSO-allowed)")
+	}
+	// The SC graph must contain both fr edges of Figure 6.
+	s := scGraph.String()
+	for _, want := range []string{"i01 -fr-> i10", "i11 -fr-> i00"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("graph missing edge %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExecutionValueAndRegisters(t *testing.T) {
+	test := sb(t)
+	events := EventsOf(test)
+	x := &Execution{
+		Test:   test,
+		Events: events,
+		RF: map[int]int{
+			EventID(events, 0, 1): EventID(events, 1, 0), // i01 reads y=1
+			EventID(events, 1, 1): 0,                     // i11 reads init x
+		},
+		WS: map[litmus.Loc][]int{
+			"x": {EventID(events, 0, 0)},
+			"y": {EventID(events, 1, 0)},
+		},
+	}
+	if v := x.Value(EventID(events, 0, 1)); v != 1 {
+		t.Errorf("i01 value = %d, want 1", v)
+	}
+	if v := x.Value(EventID(events, 1, 1)); v != 0 {
+		t.Errorf("i11 value = %d, want 0", v)
+	}
+	regs := x.RegisterFile()
+	if regs[0][0] != 1 || regs[1][0] != 0 {
+		t.Errorf("register file = %v, want [[1] [0]]", regs)
+	}
+	mem := x.FinalMemory()
+	if mem["x"] != 1 || mem["y"] != 1 {
+		t.Errorf("final memory = %v, want x=1 y=1", mem)
+	}
+}
+
+func TestFenceOrdEdges(t *testing.T) {
+	test, err := litmus.SuiteTest("amd5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := EventsOf(test)
+	x := &Execution{
+		Test:   test,
+		Events: events,
+		RF: map[int]int{
+			EventID(events, 0, 2): 0,
+			EventID(events, 1, 2): 0,
+		},
+		WS: map[litmus.Loc][]int{
+			"x": {EventID(events, 0, 0)},
+			"y": {EventID(events, 1, 0)},
+		},
+	}
+	g := x.Graph(GraphOpts{RelaxStoreLoad: true, ExternalRFOnly: true})
+	if !strings.Contains(g.String(), "i00 -mfence-> i02") {
+		t.Errorf("fence edge missing:\n%s", g.String())
+	}
+	if !g.HasCycle() {
+		t.Error("amd5 target must stay cyclic under TSO thanks to fences")
+	}
+}
+
+func TestCoherenceGraphRejectsStaleRead(t *testing.T) {
+	test, err := litmus.SuiteTest("safe006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := EventsOf(test)
+	// Thread 0 reads 2 then its own older 1: coherence cycle.
+	x := &Execution{
+		Test:   test,
+		Events: events,
+		RF: map[int]int{
+			EventID(events, 0, 1): EventID(events, 1, 0), // r0 <- x = 2
+			EventID(events, 0, 2): EventID(events, 0, 0), // r1 <- x = 1 (stale)
+			EventID(events, 1, 1): EventID(events, 1, 0), // partner sees 2
+		},
+		WS: map[litmus.Loc][]int{
+			"x": {EventID(events, 0, 0), EventID(events, 1, 0)}, // ws: 1 then 2
+		},
+	}
+	if !x.CoherenceGraph().HasCycle() {
+		t.Error("stale re-read should create a coherence cycle")
+	}
+}
+
+func TestEnumerateCountsSB(t *testing.T) {
+	// sb: 2 loads with 2 rf choices each, singleton ws per location
+	// => 4 candidate executions.
+	count := 0
+	Enumerate(sb(t), func(*Execution) { count++ })
+	if count != 4 {
+		t.Errorf("sb candidate executions = %d, want 4", count)
+	}
+	// amd3: loads: Ry (2 choices: init, Sy), Rx (3 choices: init, Sx1,
+	// Sx2); ws(x) has 2 permutations => 2*3*2 = 12.
+	amd3, err := litmus.SuiteTest("amd3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count = 0
+	Enumerate(amd3, func(*Execution) { count++ })
+	if count != 12 {
+		t.Errorf("amd3 candidate executions = %d, want 12", count)
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	if got := permutations(nil); len(got) != 1 || got[0] != nil {
+		t.Errorf("permutations(nil) = %v", got)
+	}
+	if got := permutations([]int{1, 2, 3}); len(got) != 6 {
+		t.Errorf("permutations of 3 = %d, want 6", len(got))
+	}
+}

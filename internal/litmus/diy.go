@@ -1,0 +1,359 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is a diy-style cycle-based litmus test generator: it
+// synthesizes a litmus test from a *relaxation cycle* — a sequence of
+// happens-before edge kinds that must form a cycle for the target outcome
+// to occur. diy (the generator behind the paper's original 88-test suite)
+// pioneered this construction; the PerpLE Converter "extends such tools
+// by converting newly generated litmus tests to their perpetual
+// counterpart" (Section VIII), which this package enables end to end:
+//
+//	test, _ := litmus.FromCycle("w1", litmus.Rfe, litmus.PodRR, litmus.Fre, litmus.PodWR)
+//	pt, _ := core.Convert(test)
+//
+// The classic tests arise from classic cycles:
+//
+//	sb   = PodWR Fre PodWR Fre
+//	mp   = PodWW Rfe PodRR Fre
+//	lb   = PodRW Rfe PodRW Rfe
+//	wrc  = Rfe PodRW Rfe PodRR Fre
+//	iriw = Rfe PodRR Fre Rfe PodRR Fre
+//
+// A cycle is SC-forbidden by construction; it is observable on a machine
+// exactly when the machine relaxes at least one of its program-order
+// edges (e.g. TSO relaxes PodWR, PSO additionally PodWW).
+
+// EdgeSpec is one edge of a relaxation cycle.
+type EdgeSpec int
+
+const (
+	// Rfe: a cross-thread read-from — the next event is a load on a new
+	// thread reading this thread's store.
+	Rfe EdgeSpec = iota
+	// Fre: a cross-thread from-read — the next event is a store on a new
+	// thread overwriting the value this load read.
+	Fre
+	// Wse: a cross-thread write-serialization — the next event is a store
+	// on a new thread ordered after this store.
+	Wse
+	// PodWR: program order on one thread, store then load, different
+	// locations (the edge TSO relaxes).
+	PodWR
+	// PodRR: program order, load then load, different locations.
+	PodRR
+	// PodRW: program order, load then store, different locations.
+	PodRW
+	// PodWW: program order, store then store, different locations (the
+	// edge PSO additionally relaxes).
+	PodWW
+	// FencedWR / FencedRR / FencedRW / FencedWW: the same program-order
+	// edges with an MFENCE between the two accesses (never relaxed).
+	FencedWR
+	FencedRR
+	FencedRW
+	FencedWW
+)
+
+func (e EdgeSpec) String() string {
+	switch e {
+	case Rfe:
+		return "Rfe"
+	case Fre:
+		return "Fre"
+	case Wse:
+		return "Wse"
+	case PodWR:
+		return "PodWR"
+	case PodRR:
+		return "PodRR"
+	case PodRW:
+		return "PodRW"
+	case PodWW:
+		return "PodWW"
+	case FencedWR:
+		return "FencedWR"
+	case FencedRR:
+		return "FencedRR"
+	case FencedRW:
+		return "FencedRW"
+	case FencedWW:
+		return "FencedWW"
+	default:
+		return fmt.Sprintf("EdgeSpec(%d)", int(e))
+	}
+}
+
+// ParseEdge resolves an edge name (case-insensitive).
+func ParseEdge(s string) (EdgeSpec, error) {
+	for e := Rfe; e <= FencedWW; e++ {
+		if strings.EqualFold(e.String(), s) {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("litmus: unknown cycle edge %q", s)
+}
+
+// ParseCycle resolves a whitespace-separated list of edge names.
+func ParseCycle(s string) ([]EdgeSpec, error) {
+	var edges []EdgeSpec
+	for _, tok := range strings.Fields(s) {
+		e, err := ParseEdge(tok)
+		if err != nil {
+			return nil, err
+		}
+		edges = append(edges, e)
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("litmus: empty cycle")
+	}
+	return edges, nil
+}
+
+// External reports whether the edge moves to a new thread (Rfe, Fre,
+// Wse); program-order edges stay on the current thread.
+func (e EdgeSpec) External() bool { return e == Rfe || e == Fre || e == Wse }
+
+// fenced reports whether the program-order edge carries an MFENCE.
+func (e EdgeSpec) fenced() bool { return e >= FencedWR }
+
+// srcIsStore / dstIsStore give the access kinds the edge connects.
+func (e EdgeSpec) srcIsStore() bool {
+	switch e {
+	case Rfe, Wse, PodWR, PodWW, FencedWR, FencedWW:
+		return true
+	}
+	return false
+}
+
+func (e EdgeSpec) dstIsStore() bool {
+	switch e {
+	case Fre, Wse, PodRW, PodWW, FencedRW, FencedWW:
+		return true
+	}
+	return false
+}
+
+// cycleEvent is one access of the synthesized cycle.
+type cycleEvent struct {
+	thread  int
+	isStore bool
+	loc     Loc
+	// value is assigned later: stores get fresh per-location values;
+	// loads get the expected value of the outcome condition.
+	value int64
+	reg   int
+	fence bool // an MFENCE precedes this event (same thread)
+}
+
+// FromCycle synthesizes a litmus test whose target outcome occurs exactly
+// when the given happens-before cycle is exhibited. The construction
+// walks the cycle: external edges (Rfe/Fre/Wse) start a new thread and a
+// new event on it; program-order edges append the next event to the
+// current thread. Locations change on every program-order edge (po edges
+// relate different locations) and persist across external edges (which
+// relate same-location accesses). The final edge must close the cycle
+// back to the first event consistently — the cycle must therefore start
+// with an external edge's destination kind matching the last edge.
+//
+// The target outcome records, for each load: the stored value it reads
+// (for a load that is an rf destination) or the initial 0 (for a load
+// that is an fr source reading before the overwriting store).
+func FromCycle(name string, edges ...EdgeSpec) (*Test, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("litmus: cycle needs at least 2 edges, got %d", len(edges))
+	}
+	nExternal := 0
+	for _, e := range edges {
+		if e.External() {
+			nExternal++
+		}
+	}
+	if nExternal < 2 {
+		return nil, fmt.Errorf("litmus: cycle needs at least 2 external edges to involve 2 threads")
+	}
+	if !edges[len(edges)-1].External() {
+		// Rotate so the cycle ends on an external edge; the first event
+		// then starts a fresh thread and closure is cross-thread.
+		for i := len(edges) - 1; i >= 0; i-- {
+			if edges[i].External() {
+				edges = append(edges[i+1:], edges[:i+1]...)
+				break
+			}
+		}
+	}
+
+	// Walk the cycle, creating events. Event 0's kind is the destination
+	// kind of the final (external) edge.
+	events := make([]cycleEvent, len(edges))
+	events[0] = cycleEvent{thread: 0, isStore: edges[len(edges)-1].dstIsStore()}
+	locID := 0
+	loc := func(i int) Loc { return Loc(fmt.Sprintf("v%d", i)) }
+	events[0].loc = loc(locID)
+	thread := 0
+	for i, e := range edges[:len(edges)-1] {
+		if e.srcIsStore() != events[i].isStore {
+			return nil, fmt.Errorf("litmus: edge %d (%v) expects a %s source but the walk produced a %s",
+				i, e, accessKind(e.srcIsStore()), accessKind(events[i].isStore))
+		}
+		next := cycleEvent{isStore: e.dstIsStore()}
+		if e.External() {
+			thread++
+			next.thread = thread
+			next.loc = events[i].loc // external edges relate one location
+		} else {
+			next.thread = thread
+			locID++
+			next.loc = loc(locID)
+			next.fence = e.fenced()
+		}
+		events[i+1] = next
+	}
+	last := edges[len(edges)-1]
+	if last.srcIsStore() != events[len(events)-1].isStore {
+		return nil, fmt.Errorf("litmus: closing edge %v expects a %s source", last, accessKind(last.srcIsStore()))
+	}
+	if last.dstIsStore() != events[0].isStore {
+		return nil, fmt.Errorf("litmus: closing edge %v does not match the first event", last)
+	}
+	// The closing external edge relates the last and first events'
+	// locations: unify them.
+	firstLoc := events[0].loc
+	lastLoc := events[len(events)-1].loc
+	for i := range events {
+		if events[i].loc == lastLoc {
+			events[i].loc = firstLoc
+		}
+	}
+
+	// Critical-cycle side conditions (Shasha & Snir): after unification,
+	// no thread may touch one location twice — otherwise the test carries
+	// extra coherence edges that change the cycle's meaning (a
+	// program-order edge inside a single location chain is the degenerate
+	// case). diy imposes the same restriction.
+	seen := map[[2]interface{}]bool{}
+	for _, ev := range events {
+		key := [2]interface{}{ev.thread, ev.loc}
+		if seen[key] {
+			return nil, fmt.Errorf("litmus: cycle %s is degenerate: thread %d accesses %s twice",
+				cycleString(edges), ev.thread, ev.loc)
+		}
+		seen[key] = true
+	}
+
+	// Assign store values (fresh per location) and registers.
+	t := &Test{Name: name, Doc: "generated from cycle " + cycleString(edges), Init: map[Loc]int64{}}
+	nextVal := map[Loc]int64{}
+	regs := map[int]int{}
+	for i := range events {
+		ev := &events[i]
+		if ev.isStore {
+			nextVal[ev.loc]++
+			ev.value = nextVal[ev.loc]
+		} else {
+			ev.reg = regs[ev.thread]
+			regs[ev.thread]++
+		}
+	}
+
+	// The outcome: each edge determines what its load endpoint observed.
+	// An Rfe edge's destination load reads the source store's value; an
+	// Fre edge's source load read the value *before* the destination
+	// store — i.e. the previous value of the location (0 if the
+	// destination store is the location's first).
+	valueRead := make([]int64, len(events))
+	for i := range valueRead {
+		valueRead[i] = -1
+	}
+	set := func(i int, v int64) error {
+		if valueRead[i] >= 0 && valueRead[i] != v {
+			return fmt.Errorf("litmus: cycle %s is incoherent: event %d must read both %d and %d",
+				cycleString(edges), i, valueRead[i], v)
+		}
+		valueRead[i] = v
+		return nil
+	}
+	for i, e := range edges {
+		src, dst := i, (i+1)%len(events)
+		switch e {
+		case Rfe:
+			if err := set(dst, events[src].value); err != nil {
+				return nil, err
+			}
+		case Fre:
+			if err := set(src, events[dst].value-1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Any load not constrained by an external edge reads the initial 0;
+	// the outcome must pin every register to stay a single outcome.
+	for i := range events {
+		if !events[i].isStore && valueRead[i] < 0 {
+			valueRead[i] = 0
+		}
+	}
+
+	// Emit threads.
+	maxThread := 0
+	for _, ev := range events {
+		if ev.thread > maxThread {
+			maxThread = ev.thread
+		}
+	}
+	t.Threads = make([]Thread, maxThread+1)
+	for _, ev := range events {
+		th := &t.Threads[ev.thread]
+		if ev.fence {
+			th.Instrs = append(th.Instrs, Fence())
+		}
+		if ev.isStore {
+			th.Instrs = append(th.Instrs, Store(ev.loc, ev.value))
+		} else {
+			th.Instrs = append(th.Instrs, Load(ev.reg, ev.loc))
+		}
+	}
+	for i, ev := range events {
+		if !ev.isStore {
+			t.Target.Conds = append(t.Target.Conds, Cond{Thread: ev.thread, Reg: ev.reg, Value: valueRead[i]})
+		}
+	}
+
+	// Locations written by more than one store need the intended
+	// write-serialization order pinned, or the outcome admits witnesses
+	// with the stores reversed and the cycle dissolves. Register values
+	// cannot observe ws directly, so — exactly as diy does — pin it with
+	// a final-state condition: the intended ws-last store must be the
+	// final value. Such tests are not convertible to perpetual tests
+	// (Section V-C of the paper); they are the corpus the paper runs
+	// under litmus7 only.
+	for _, loc := range t.Locs() {
+		if vals := t.StoreValues(loc); len(vals) > 1 {
+			t.Target.Conds = append(t.Target.Conds, Cond{Loc: loc, Value: vals[len(vals)-1]})
+		}
+	}
+
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("litmus: cycle %s produced an invalid test: %w", cycleString(edges), err)
+	}
+	return t, nil
+}
+
+func accessKind(isStore bool) string {
+	if isStore {
+		return "store"
+	}
+	return "load"
+}
+
+func cycleString(edges []EdgeSpec) string {
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,129 @@
+package litmus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig controls random litmus test generation (a diy-like generator,
+// used by property tests and to synthesize the non-convertible remainder
+// of the paper's 88-test corpus for the Section VII-G experiment).
+type GenConfig struct {
+	// MinThreads and MaxThreads bound the thread count (inclusive).
+	MinThreads, MaxThreads int
+	// MaxInstrs bounds instructions per thread (at least 1 is generated).
+	MaxInstrs int
+	// Locs is the pool of shared locations to draw from.
+	Locs []Loc
+	// FenceProb is the probability that a slot becomes a fence.
+	FenceProb float64
+	// MemTarget forces the generated target outcome to include a
+	// final-memory condition, making the test non-convertible.
+	MemTarget bool
+}
+
+// DefaultGenConfig returns a config producing small 2-4 thread tests over
+// locations x, y, z.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MinThreads: 2,
+		MaxThreads: 4,
+		MaxInstrs:  4,
+		Locs:       []Loc{"x", "y", "z"},
+		FenceProb:  0.15,
+	}
+}
+
+// Generate builds a random valid litmus test from cfg using rng. The
+// target outcome is drawn uniformly from the test's outcome space (and
+// extended with a memory condition when cfg.MemTarget is set). Generated
+// tests always contain at least one load and one store overall, and every
+// stored value is unique per location as Validate requires.
+func Generate(rng *rand.Rand, cfg GenConfig, name string) *Test {
+	if cfg.MinThreads < 1 {
+		cfg.MinThreads = 1
+	}
+	if cfg.MaxThreads < cfg.MinThreads {
+		cfg.MaxThreads = cfg.MinThreads
+	}
+	if cfg.MaxInstrs < 1 {
+		cfg.MaxInstrs = 1
+	}
+	if len(cfg.Locs) == 0 {
+		cfg.Locs = []Loc{"x", "y"}
+	}
+
+	for attempt := 0; ; attempt++ {
+		t := generateOnce(rng, cfg, name)
+		if t != nil {
+			return t
+		}
+		if attempt > 1000 {
+			panic("litmus: generator failed to produce a valid test after 1000 attempts")
+		}
+	}
+}
+
+func generateOnce(rng *rand.Rand, cfg GenConfig, name string) *Test {
+	nThreads := cfg.MinThreads + rng.Intn(cfg.MaxThreads-cfg.MinThreads+1)
+	t := &Test{Name: name, Doc: "randomly generated", Init: map[Loc]int64{}}
+	nextVal := map[Loc]int64{}
+	haveLoad, haveStore := false, false
+
+	for ti := 0; ti < nThreads; ti++ {
+		nInstr := 1 + rng.Intn(cfg.MaxInstrs)
+		var th Thread
+		nextReg := 0
+		for ii := 0; ii < nInstr; ii++ {
+			loc := cfg.Locs[rng.Intn(len(cfg.Locs))]
+			switch {
+			case rng.Float64() < cfg.FenceProb && len(th.Instrs) > 0:
+				th.Instrs = append(th.Instrs, Fence())
+			case rng.Intn(2) == 0:
+				nextVal[loc]++
+				th.Instrs = append(th.Instrs, Store(loc, nextVal[loc]))
+				haveStore = true
+			default:
+				th.Instrs = append(th.Instrs, Load(nextReg, loc))
+				nextReg++
+				haveLoad = true
+			}
+		}
+		t.Threads = append(t.Threads, th)
+	}
+	if !haveLoad || !haveStore {
+		return nil
+	}
+
+	outs := t.AllOutcomes()
+	if len(outs) == 0 {
+		return nil
+	}
+	t.Target = outs[rng.Intn(len(outs))]
+	if cfg.MemTarget {
+		// Constrain the final value of a stored location to a value some
+		// thread actually stores there (or 0).
+		var stored []Loc
+		for _, loc := range t.Locs() {
+			if len(t.StoreValues(loc)) > 0 {
+				stored = append(stored, loc)
+			}
+		}
+		loc := stored[rng.Intn(len(stored))]
+		vals := append([]int64{0}, t.StoreValues(loc)...)
+		t.Target.Conds = append(t.Target.Conds, Cond{Loc: loc, Value: vals[rng.Intn(len(vals))]})
+	}
+	if err := t.Validate(); err != nil {
+		return nil
+	}
+	return t
+}
+
+// GenerateCorpus produces n random tests named prefix000, prefix001, ...
+func GenerateCorpus(rng *rand.Rand, cfg GenConfig, prefix string, n int) []*Test {
+	tests := make([]*Test, n)
+	for i := range tests {
+		tests[i] = Generate(rng, cfg, fmt.Sprintf("%s%03d", prefix, i))
+	}
+	return tests
+}

@@ -1,0 +1,290 @@
+package litmus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a litmus test in a litmus7-style x86 text format:
+//
+//	X86 sb
+//	"store buffering"
+//	{ x=0; y=0; }
+//	 P0          | P1          ;
+//	 MOV [x],$1  | MOV [y],$1  ;
+//	 MOV EAX,[y] | MOV EAX,[x] ;
+//	exists (0:EAX=0 /\ 1:EAX=0)
+//
+// Supported instructions per cell: `MOV [loc],$imm` (store), `MOV
+// REG,[loc]` (load), `MFENCE`, or an empty cell (no-op; threads may have
+// different lengths). Registers EAX..EDX and RAX..R15 style names map to
+// register indices in order of first use per thread. The final condition
+// may constrain registers (`0:EAX=1`) or final memory (`[x]=2` or `x=2`),
+// joined with `/\`. Both `exists (...)` and `final (...)` introduce the
+// target outcome.
+func Parse(src string) (*Test, error) {
+	lines := splitLines(src)
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("litmus: empty input")
+	}
+	t := &Test{Init: map[Loc]int64{}}
+	i := 0
+
+	// Header: "X86 name" (the arch token is accepted and ignored beyond
+	// x86 variants).
+	fields := strings.Fields(lines[i])
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("litmus: line 1: want header %q, got %q", "X86 <name>", lines[i])
+	}
+	arch := strings.ToUpper(fields[0])
+	if arch != "X86" && arch != "X86_64" {
+		return nil, fmt.Errorf("litmus: unsupported architecture %q (want X86)", fields[0])
+	}
+	t.Name = fields[1]
+	i++
+
+	// Optional quoted doc line(s).
+	for i < len(lines) && strings.HasPrefix(lines[i], "\"") {
+		t.Doc = strings.Trim(lines[i], "\"")
+		i++
+	}
+
+	// Init block: { x=0; y=0; } possibly spanning lines.
+	if i >= len(lines) || !strings.HasPrefix(lines[i], "{") {
+		return nil, fmt.Errorf("litmus: missing init block { ... }")
+	}
+	var initText strings.Builder
+	for ; i < len(lines); i++ {
+		initText.WriteString(lines[i])
+		initText.WriteString(" ")
+		if strings.Contains(lines[i], "}") {
+			i++
+			break
+		}
+	}
+	if err := parseInit(initText.String(), t); err != nil {
+		return nil, err
+	}
+
+	// Thread header row: P0 | P1 | ... ;
+	if i >= len(lines) {
+		return nil, fmt.Errorf("litmus: missing thread header row")
+	}
+	hdr := strings.TrimSuffix(lines[i], ";")
+	cols := splitCols(hdr)
+	nThreads := len(cols)
+	if nThreads == 0 {
+		return nil, fmt.Errorf("litmus: empty thread header row %q", lines[i])
+	}
+	for ci, c := range cols {
+		want := fmt.Sprintf("P%d", ci)
+		if !strings.EqualFold(strings.TrimSpace(c), want) {
+			return nil, fmt.Errorf("litmus: thread header column %d is %q, want %q", ci, strings.TrimSpace(c), want)
+		}
+	}
+	t.Threads = make([]Thread, nThreads)
+	regNames := make([]map[string]int, nThreads)
+	for ti := range regNames {
+		regNames[ti] = map[string]int{}
+	}
+	i++
+
+	// Instruction rows until the condition line.
+	for ; i < len(lines); i++ {
+		line := lines[i]
+		low := strings.ToLower(line)
+		if strings.HasPrefix(low, "exists") || strings.HasPrefix(low, "final") || strings.HasPrefix(low, "forall") {
+			break
+		}
+		if strings.HasPrefix(low, "locations") {
+			// litmus7 "locations [x; y;]" lines ask the tool to log final
+			// memory; the harness always records it, so the directive is
+			// accepted and ignored.
+			continue
+		}
+		row := strings.TrimSuffix(line, ";")
+		cells := splitCols(row)
+		if len(cells) != nThreads {
+			return nil, fmt.Errorf("litmus: instruction row %q has %d columns, want %d", line, len(cells), nThreads)
+		}
+		for ti, cell := range cells {
+			cell = strings.TrimSpace(cell)
+			if cell == "" {
+				continue
+			}
+			in, err := parseInstr(cell, regNames[ti])
+			if err != nil {
+				return nil, fmt.Errorf("litmus: thread %d: %v", ti, err)
+			}
+			t.Threads[ti].Instrs = append(t.Threads[ti].Instrs, in)
+		}
+	}
+
+	// Condition.
+	if i >= len(lines) {
+		return nil, fmt.Errorf("litmus: missing exists/final condition")
+	}
+	cond := strings.Join(lines[i:], " ")
+	target, err := parseCondition(cond, regNames)
+	if err != nil {
+		return nil, err
+	}
+	t.Target = target
+
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func splitLines(src string) []string {
+	var out []string
+	for _, raw := range strings.Split(src, "\n") {
+		line := raw
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// splitCols splits on | and keeps empty cells.
+func splitCols(row string) []string {
+	parts := strings.Split(row, "|")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseInit(src string, t *Test) error {
+	src = strings.TrimSpace(src)
+	src = strings.TrimPrefix(src, "{")
+	if idx := strings.Index(src, "}"); idx >= 0 {
+		src = src[:idx]
+	}
+	for _, item := range strings.Split(src, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		eq := strings.Index(item, "=")
+		if eq < 0 {
+			return fmt.Errorf("litmus: init item %q: want loc=value", item)
+		}
+		loc := strings.TrimSpace(item[:eq])
+		loc = strings.TrimPrefix(loc, "[")
+		loc = strings.TrimSuffix(loc, "]")
+		v, err := strconv.ParseInt(strings.TrimSpace(item[eq+1:]), 10, 64)
+		if err != nil {
+			return fmt.Errorf("litmus: init item %q: %v", item, err)
+		}
+		t.Init[Loc(loc)] = v
+	}
+	return nil
+}
+
+func parseInstr(cell string, regs map[string]int) (Instr, error) {
+	up := strings.ToUpper(cell)
+	if up == "MFENCE" {
+		return Fence(), nil
+	}
+	if !strings.HasPrefix(up, "MOV") {
+		return Instr{}, fmt.Errorf("unsupported instruction %q", cell)
+	}
+	rest := strings.TrimSpace(cell[3:])
+	comma := strings.Index(rest, ",")
+	if comma < 0 {
+		return Instr{}, fmt.Errorf("malformed MOV %q", cell)
+	}
+	dst := strings.TrimSpace(rest[:comma])
+	src := strings.TrimSpace(rest[comma+1:])
+	switch {
+	case strings.HasPrefix(dst, "["): // store: MOV [loc],$imm
+		loc := strings.TrimSuffix(strings.TrimPrefix(dst, "["), "]")
+		if !strings.HasPrefix(src, "$") {
+			return Instr{}, fmt.Errorf("store source %q must be an immediate $n", src)
+		}
+		v, err := strconv.ParseInt(src[1:], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("store immediate %q: %v", src, err)
+		}
+		return Store(Loc(loc), v), nil
+	case strings.HasPrefix(src, "["): // load: MOV REG,[loc]
+		loc := strings.TrimSuffix(strings.TrimPrefix(src, "["), "]")
+		r := regIndex(regs, strings.ToUpper(dst))
+		return Load(r, Loc(loc)), nil
+	default:
+		return Instr{}, fmt.Errorf("unsupported MOV form %q", cell)
+	}
+}
+
+// regIndex maps a register name to a dense per-thread index, allocating in
+// order of first use.
+func regIndex(regs map[string]int, name string) int {
+	if idx, ok := regs[name]; ok {
+		return idx
+	}
+	idx := len(regs)
+	regs[name] = idx
+	return idx
+}
+
+func parseCondition(src string, regNames []map[string]int) (Outcome, error) {
+	src = strings.TrimSpace(src)
+	low := strings.ToLower(src)
+	switch {
+	case strings.HasPrefix(low, "exists"):
+		src = strings.TrimSpace(src[len("exists"):])
+	case strings.HasPrefix(low, "final"):
+		src = strings.TrimSpace(src[len("final"):])
+	default:
+		return Outcome{}, fmt.Errorf("litmus: unsupported condition form %q (want exists/final)", src)
+	}
+	src = strings.TrimPrefix(src, "(")
+	src = strings.TrimSuffix(src, ")")
+	var out Outcome
+	for _, part := range strings.Split(src, `/\`) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.Index(part, "=")
+		if eq < 0 {
+			return Outcome{}, fmt.Errorf("litmus: condition %q: want lhs=value", part)
+		}
+		lhs := strings.TrimSpace(part[:eq])
+		v, err := strconv.ParseInt(strings.TrimSpace(part[eq+1:]), 10, 64)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("litmus: condition %q: %v", part, err)
+		}
+		if colon := strings.Index(lhs, ":"); colon >= 0 {
+			ti, err := strconv.Atoi(strings.TrimSpace(lhs[:colon]))
+			if err != nil {
+				return Outcome{}, fmt.Errorf("litmus: condition %q: bad thread id: %v", part, err)
+			}
+			if ti < 0 || ti >= len(regNames) {
+				return Outcome{}, fmt.Errorf("litmus: condition %q: thread %d out of range", part, ti)
+			}
+			reg := strings.ToUpper(strings.TrimSpace(lhs[colon+1:]))
+			idx, ok := regNames[ti][reg]
+			if !ok {
+				return Outcome{}, fmt.Errorf("litmus: condition %q: thread %d never loads into %s", part, ti, reg)
+			}
+			out.Conds = append(out.Conds, Cond{Thread: ti, Reg: idx, Value: v})
+		} else {
+			loc := strings.TrimSuffix(strings.TrimPrefix(lhs, "["), "]")
+			out.Conds = append(out.Conds, Cond{Loc: Loc(loc), Value: v})
+		}
+	}
+	if len(out.Conds) == 0 {
+		return Outcome{}, fmt.Errorf("litmus: empty condition")
+	}
+	return out, nil
+}

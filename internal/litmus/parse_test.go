@@ -1,0 +1,233 @@
+package litmus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sbSource = `
+X86 sb
+"store buffering"
+{ x=0; y=0; }
+ P0          | P1          ;
+ MOV [x],$1  | MOV [y],$1  ;
+ MOV EAX,[y] | MOV EAX,[x] ;
+exists (0:EAX=0 /\ 1:EAX=0)
+`
+
+func TestParseSB(t *testing.T) {
+	got, err := Parse(sbSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sbTest(t)
+	if got.Name != "sb" || got.Doc != "store buffering" {
+		t.Errorf("header parsed as %q/%q", got.Name, got.Doc)
+	}
+	if len(got.Threads) != 2 {
+		t.Fatalf("parsed %d threads, want 2", len(got.Threads))
+	}
+	for ti := range want.Threads {
+		if len(got.Threads[ti].Instrs) != len(want.Threads[ti].Instrs) {
+			t.Fatalf("thread %d: %d instrs, want %d", ti,
+				len(got.Threads[ti].Instrs), len(want.Threads[ti].Instrs))
+		}
+		for ii := range want.Threads[ti].Instrs {
+			if got.Threads[ti].Instrs[ii] != want.Threads[ti].Instrs[ii] {
+				t.Errorf("thread %d instr %d = %v, want %v", ti, ii,
+					got.Threads[ti].Instrs[ii], want.Threads[ti].Instrs[ii])
+			}
+		}
+	}
+	if !got.Target.Equal(want.Target) {
+		t.Errorf("target = %v, want %v", got.Target, want.Target)
+	}
+}
+
+func TestParseFenceAndRaggedColumns(t *testing.T) {
+	src := `
+X86 amd5ish
+{ x=0; y=0; }
+ P0          | P1          ;
+ MOV [x],$1  | MOV [y],$1  ;
+ MFENCE      | MFENCE      ;
+ MOV EAX,[y] |             ;
+             | MOV EBX,[x] ;
+exists (0:EAX=0 /\ 1:EBX=0)
+`
+	got, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Threads[0].Instrs) != 3 || len(got.Threads[1].Instrs) != 3 {
+		t.Fatalf("instr counts = %d/%d, want 3/3",
+			len(got.Threads[0].Instrs), len(got.Threads[1].Instrs))
+	}
+	if got.Threads[0].Instrs[1].Kind != OpFence {
+		t.Error("thread 0 instr 1 should be a fence")
+	}
+	// EBX is thread 1's first register use, so it maps to index 0.
+	if c := got.Target.Conds[1]; c.Thread != 1 || c.Reg != 0 {
+		t.Errorf("second condition = %+v, want thread 1 reg 0", c)
+	}
+}
+
+func TestParseMemCondition(t *testing.T) {
+	src := `
+X86 final
+{ x=0; }
+ P0          | P1          ;
+ MOV [x],$1  | MOV [x],$2  ;
+final ([x]=1)
+`
+	got, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Target.HasMemConds() {
+		t.Error("parsed target should have a memory condition")
+	}
+	if c := got.Target.Conds[0]; c.Loc != "x" || c.Value != 1 {
+		t.Errorf("memory condition = %+v, want [x]=1", c)
+	}
+	// Mixed register + memory conditions also parse.
+	src = strings.Replace(src, "final ([x]=1)", "final ([x]=1 /\\ 0:EAX=2)", 1)
+	src = strings.Replace(src, "MOV [x],$1  | MOV [x],$2  ;",
+		"MOV [x],$1  | MOV [x],$2  ;\n MOV EAX,[x] |             ;", 1)
+	got, err = Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Target.Conds) != 2 || !got.Target.HasMemConds() {
+		t.Errorf("mixed target = %v", got.Target)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "empty input"},
+		{"bad arch", "ARM t\n{x=0;}\n P0 ;\n MOV [x],$1 ;\nexists (0:EAX=0)", "unsupported architecture"},
+		{"no init", "X86 t\n P0 ;\n MOV [x],$1 ;\nexists([x]=0)", "missing init"},
+		{"bad header row", "X86 t\n{x=0;}\n Q0 ;\n MOV [x],$1 ;\nexists([x]=0)", "thread header"},
+		{"bad instr", "X86 t\n{x=0;}\n P0 ;\n ADD EAX,$1 ;\nexists([x]=0)", "unsupported instruction"},
+		{"bad store imm", "X86 t\n{x=0;}\n P0 ;\n MOV [x],EAX ;\nexists([x]=0)", "immediate"},
+		{"wrong columns", "X86 t\n{x=0;}\n P0 ;\n MOV [x],$1 | MFENCE ;\nexists([x]=0)", "columns"},
+		{"no condition", "X86 t\n{x=0;}\n P0 ;\n MOV [x],$1 ;", "missing exists"},
+		{"unknown reg", "X86 t\n{x=0;}\n P0 ;\n MOV [x],$1 ;\n MOV EAX,[x] ;\nexists (0:EBX=0)", "never loads"},
+		{"bad thread id", "X86 t\n{x=0;}\n P0 ;\n MOV [x],$1 ;\n MOV EAX,[x] ;\nexists (9:EAX=0)", "out of range"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: Parse accepted bad input", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestFormatParseRoundTripSuite(t *testing.T) {
+	for _, e := range Suite() {
+		src := Format(e.Test)
+		got, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: reparse failed: %v\n%s", e.Test.Name, err, src)
+			continue
+		}
+		if got.Name != e.Test.Name {
+			t.Errorf("%s: name round-tripped to %q", e.Test.Name, got.Name)
+		}
+		if len(got.Threads) != len(e.Test.Threads) {
+			t.Errorf("%s: thread count %d, want %d", e.Test.Name, len(got.Threads), len(e.Test.Threads))
+			continue
+		}
+		for ti := range e.Test.Threads {
+			for ii, want := range e.Test.Threads[ti].Instrs {
+				if got.Threads[ti].Instrs[ii] != want {
+					t.Errorf("%s: thread %d instr %d = %v, want %v",
+						e.Test.Name, ti, ii, got.Threads[ti].Instrs[ii], want)
+				}
+			}
+		}
+		if !got.Target.Equal(e.Test.Target) {
+			t.Errorf("%s: target %v, want %v", e.Test.Name, got.Target, e.Test.Target)
+		}
+	}
+}
+
+func TestFormatParseRoundTripGenerated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultGenConfig()
+	for i := 0; i < 50; i++ {
+		test := Generate(rng, cfg, "gen")
+		src := Format(test)
+		got, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated test %d: reparse failed: %v\n%s", i, err, src)
+		}
+		if !got.Target.Equal(test.Target) {
+			t.Fatalf("generated test %d: target %v, want %v", i, got.Target, test.Target)
+		}
+	}
+}
+
+func TestGeneratedTestsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		test := Generate(r, DefaultGenConfig(), "q")
+		return test.Validate() == nil
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateMemTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultGenConfig()
+	cfg.MemTarget = true
+	for i := 0; i < 20; i++ {
+		test := Generate(rng, cfg, "nc")
+		if !test.Target.HasMemConds() {
+			t.Fatalf("test %d: MemTarget config produced convertible target %v", i, test.Target)
+		}
+	}
+}
+
+func TestGenerateCorpusNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	corpus := GenerateCorpus(rng, DefaultGenConfig(), "rand", 5)
+	if len(corpus) != 5 {
+		t.Fatalf("corpus size %d, want 5", len(corpus))
+	}
+	if corpus[0].Name != "rand000" || corpus[4].Name != "rand004" {
+		t.Errorf("corpus names %q..%q", corpus[0].Name, corpus[4].Name)
+	}
+}
+
+func TestParseLocationsDirective(t *testing.T) {
+	src := `
+X86 withlocs
+{ x=0; y=0; }
+ P0          | P1          ;
+ MOV [x],$1  | MOV [y],$1  ;
+ MOV EAX,[y] | MOV EAX,[x] ;
+locations [x; y;]
+exists (0:EAX=0 /\ 1:EAX=0)
+`
+	test, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(test.Threads[0].Instrs) != 2 {
+		t.Errorf("locations line leaked into instructions: %v", test.Threads[0].Instrs)
+	}
+}

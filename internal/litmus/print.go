@@ -1,0 +1,95 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the test in the litmus7-style text format accepted by
+// Parse, so Parse(Format(t)) round-trips (modulo register naming, which
+// uses EAX, EBX, ... in register-index order).
+func Format(t *Test) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "X86 %s\n", t.Name)
+	if t.Doc != "" {
+		fmt.Fprintf(&b, "%q\n", t.Doc)
+	}
+
+	// Init block over all referenced locations, sorted.
+	b.WriteString("{ ")
+	for _, loc := range t.Locs() {
+		fmt.Fprintf(&b, "%s=%d; ", loc, t.Init[loc])
+	}
+	b.WriteString("}\n")
+
+	// Column cells.
+	n := len(t.Threads)
+	rows := 0
+	for _, th := range t.Threads {
+		if len(th.Instrs) > rows {
+			rows = len(th.Instrs)
+		}
+	}
+	cells := make([][]string, rows+1)
+	for r := range cells {
+		cells[r] = make([]string, n)
+	}
+	for ti := range t.Threads {
+		cells[0][ti] = fmt.Sprintf("P%d", ti)
+	}
+	for ti, th := range t.Threads {
+		for ii, in := range th.Instrs {
+			cells[ii+1][ti] = formatInstr(in)
+		}
+	}
+	widths := make([]int, n)
+	for _, row := range cells {
+		for ci, c := range row {
+			if len(c) > widths[ci] {
+				widths[ci] = len(c)
+			}
+		}
+	}
+	for _, row := range cells {
+		parts := make([]string, n)
+		for ci, c := range row {
+			parts[ci] = fmt.Sprintf(" %-*s ", widths[ci], c)
+		}
+		b.WriteString(strings.Join(parts, "|"))
+		b.WriteString(";\n")
+	}
+
+	// Condition.
+	parts := make([]string, len(t.Target.Conds))
+	for i, c := range t.Target.Conds {
+		if c.IsMem() {
+			parts[i] = fmt.Sprintf("[%s]=%d", c.Loc, c.Value)
+		} else {
+			parts[i] = fmt.Sprintf("%d:%s=%d", c.Thread, regName(c.Reg), c.Value)
+		}
+	}
+	fmt.Fprintf(&b, "exists (%s)\n", strings.Join(parts, ` /\ `))
+	return b.String()
+}
+
+func formatInstr(in Instr) string {
+	switch in.Kind {
+	case OpStore:
+		return fmt.Sprintf("MOV [%s],$%d", in.Loc, in.Value)
+	case OpLoad:
+		return fmt.Sprintf("MOV %s,[%s]", regName(in.Reg), in.Loc)
+	case OpFence:
+		return "MFENCE"
+	default:
+		return "?"
+	}
+}
+
+var x86Regs = []string{"EAX", "EBX", "ECX", "EDX", "ESI", "EDI", "R8D", "R9D", "R10D", "R11D", "R12D", "R13D", "R14D", "R15D"}
+
+func regName(idx int) string {
+	if idx < len(x86Regs) {
+		return x86Regs[idx]
+	}
+	return fmt.Sprintf("REG%d", idx)
+}

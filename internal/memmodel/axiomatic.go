@@ -1,0 +1,106 @@
+package memmodel
+
+import (
+	"perple/internal/hb"
+	"perple/internal/litmus"
+)
+
+// AxiomaticResult is the outcome classification for one candidate
+// execution: the register file and final memory it produces.
+type AxiomaticResult struct {
+	Regs [][]int64
+	Mem  map[litmus.Loc]int64
+}
+
+// AxiomaticAllowedSet enumerates every candidate execution of the test,
+// keeps those consistent with the model's axioms, and returns the set of
+// distinct results they produce. The axioms follow herd's x86tso.cat:
+//
+//   - coherence ("uniproc"): po restricted to same-location accesses,
+//     together with rf, ws and fr, must be acyclic (both models);
+//   - SC: full po ∪ rf ∪ ws ∪ fr acyclic;
+//   - TSO: ghb = ppo ∪ mfence ∪ rfe ∪ ws ∪ fr acyclic, where ppo is po
+//     minus store→load pairs, mfence restores store→load order across a
+//     fence, and rfe is external (cross-thread) read-from only — internal
+//     forwarding does not globally order;
+//   - PSO: as TSO, with ppo additionally dropping store→store pairs to
+//     different locations (per-location store buffers).
+func AxiomaticAllowedSet(t *litmus.Test, m Model) []AxiomaticResult {
+	var opts hb.GraphOpts
+	switch m {
+	case TSO:
+		opts = hb.GraphOpts{RelaxStoreLoad: true, ExternalRFOnly: true}
+	case PSO:
+		opts = hb.GraphOpts{RelaxStoreLoad: true, RelaxStoreStore: true, ExternalRFOnly: true}
+	}
+	seen := map[string]bool{}
+	var out []AxiomaticResult
+	hb.Enumerate(t, func(x *hb.Execution) {
+		if x.CoherenceGraph().HasCycle() {
+			return
+		}
+		if x.Graph(opts).HasCycle() {
+			return
+		}
+		res := AxiomaticResult{Regs: x.RegisterFile(), Mem: x.FinalMemory()}
+		key := resultKey(t, res)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, res)
+		}
+	})
+	return out
+}
+
+// AxiomaticAllowed reports whether outcome o of test t is allowed under
+// model m, i.e. some axiom-consistent candidate execution satisfies it.
+func AxiomaticAllowed(t *litmus.Test, o litmus.Outcome, m Model) bool {
+	for _, res := range AxiomaticAllowedSet(t, m) {
+		if o.HoldsFull(res.Regs, res.Mem) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowedOutcomes returns the subset of the test's full register-outcome
+// space (litmus.Test.AllOutcomes) that model m allows.
+func AllowedOutcomes(t *litmus.Test, m Model) []litmus.Outcome {
+	results := AxiomaticAllowedSet(t, m)
+	var out []litmus.Outcome
+	for _, o := range t.AllOutcomes() {
+		for _, res := range results {
+			if o.HoldsFull(res.Regs, res.Mem) {
+				out = append(out, o)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func resultKey(t *litmus.Test, res AxiomaticResult) string {
+	key := make([]byte, 0, 64)
+	for _, regs := range res.Regs {
+		for _, v := range regs {
+			key = appendInt(key, v)
+		}
+		key = append(key, '|')
+	}
+	key = append(key, '#')
+	for _, loc := range t.Locs() {
+		key = appendInt(key, res.Mem[loc])
+	}
+	return string(key)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10), ',')
+}

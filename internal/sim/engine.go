@@ -1,0 +1,458 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"perple/internal/core"
+	"perple/internal/litmus"
+	"perple/internal/memmodel"
+)
+
+// bufEntry is a pending store awaiting drain to shared memory.
+type bufEntry struct {
+	memIdx  int
+	val     int64
+	drainAt int64
+}
+
+// locOf maps a memory-cell index back to its location for tracing.
+func (m *machine) locOf(memIdx int) litmus.Loc {
+	if m.cells <= 0 || len(m.locs) == 0 {
+		return ""
+	}
+	return m.locs[memIdx/m.cells]
+}
+
+// simInstr is a pre-compiled instruction: locations resolved to indices,
+// store sequences pre-computed.
+type simInstr struct {
+	kind   litmus.OpKind
+	locIdx int
+	val    int64 // constant store value (synced mode)
+	k, a   int64 // arithmetic sequence (perpetual mode)
+	reg    int   // destination register (synced mode)
+	slot   int   // buf slot (perpetual mode)
+}
+
+// simThread is one core executing a test thread.
+type simThread struct {
+	id    int
+	time  int64
+	speed int64 // current iteration's cost multiplier, percent
+	buf   []bufEntry
+	prog  []simInstr
+	pc    int
+	iter  int
+}
+
+// machine is the shared engine state.
+type machine struct {
+	cfg     Config
+	pso     bool
+	rng     *rand.Rand
+	mem     []int64
+	threads []*simThread
+	trace   *Trace
+	locs    []litmus.Loc
+	cells   int // memory cells per location (N for synced runs, 1 for perpetual)
+}
+
+func (m *machine) cost(th *simThread) int64 {
+	c := uniform(m.rng, m.cfg.InstrCostMin, m.cfg.InstrCostMax)
+	c = c * th.speed / 100
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// newIteration charges iteration bookkeeping, re-draws the thread's speed
+// and applies a possible preemption stall.
+func (m *machine) newIteration(th *simThread, overhead int64) {
+	th.time += overhead
+	j := m.cfg.SpeedJitterPct
+	th.speed = 100 + uniform(m.rng, -j, j)
+	if th.speed < 10 {
+		th.speed = 10
+	}
+	if m.cfg.PreemptProb > 0 && m.rng.Float64() < m.cfg.PreemptProb {
+		stall := uniform(m.rng, m.cfg.PreemptMin, m.cfg.PreemptMax)
+		th.time += stall
+		if m.trace != nil {
+			m.trace.add(TraceEvent{Time: th.time, Thread: th.id, Kind: TracePreempt, Iter: th.iter, Value: stall})
+		}
+	}
+}
+
+// nextDrain returns the index of the entry that drains next from a
+// buffer: index 0 under TSO's single FIFO; the minimum drainAt under PSO
+// (store assigns per-location-monotone drain times, so the global minimum
+// is always some location's head). Returns -1 for an empty buffer.
+func (m *machine) nextDrain(th *simThread) int {
+	if len(th.buf) == 0 {
+		return -1
+	}
+	if !m.pso {
+		return 0
+	}
+	best := 0
+	for i := 1; i < len(th.buf); i++ {
+		if th.buf[i].drainAt < th.buf[best].drainAt {
+			best = i
+		}
+	}
+	return best
+}
+
+// applyDrains moves every pending store with drainAt ≤ upTo into shared
+// memory, in global drain order (ties broken by thread id).
+func (m *machine) applyDrains(upTo int64) {
+	for {
+		best, bestIdx := -1, -1
+		var bestAt int64
+		for _, th := range m.threads {
+			i := m.nextDrain(th)
+			if i < 0 {
+				continue
+			}
+			at := th.buf[i].drainAt
+			if at <= upTo && (best < 0 || at < bestAt) {
+				best, bestIdx, bestAt = th.id, i, at
+			}
+		}
+		if best < 0 {
+			return
+		}
+		th := m.threads[best]
+		e := th.buf[bestIdx]
+		th.buf = append(th.buf[:bestIdx], th.buf[bestIdx+1:]...)
+		m.mem[e.memIdx] = e.val
+		if m.trace != nil {
+			m.trace.add(TraceEvent{Time: e.drainAt, Thread: th.id, Kind: TraceDrain, Loc: m.locOf(e.memIdx), Value: e.val})
+		}
+	}
+}
+
+// settle drains every pending store regardless of time (end of run).
+func (m *machine) settle() {
+	const forever = int64(1) << 62
+	m.applyDrains(forever)
+}
+
+// store enqueues a value with a monotone drain time — across the whole
+// buffer under TSO's single FIFO, per location under PSO — then advances
+// the thread clock.
+func (m *machine) store(th *simThread, memIdx int, val int64) {
+	drainAt := th.time + uniform(m.rng, m.cfg.DrainMin, m.cfg.DrainMax)
+	if m.pso {
+		for i := len(th.buf) - 1; i >= 0; i-- {
+			if th.buf[i].memIdx == memIdx {
+				if drainAt <= th.buf[i].drainAt {
+					drainAt = th.buf[i].drainAt + 1
+				}
+				break
+			}
+		}
+	} else if n := len(th.buf); n > 0 && drainAt <= th.buf[n-1].drainAt {
+		drainAt = th.buf[n-1].drainAt + 1
+	}
+	th.buf = append(th.buf, bufEntry{memIdx: memIdx, val: val, drainAt: drainAt})
+	if m.trace != nil {
+		m.trace.add(TraceEvent{Time: th.time, Thread: th.id, Kind: TraceStore, Loc: m.locOf(memIdx),
+			Value: val, Iter: th.iter, DrainAt: drainAt})
+	}
+	th.time += m.cost(th)
+}
+
+// load returns the value visible to the thread: its own newest buffered
+// store to the cell (forwarding) or shared memory, then advances the
+// clock.
+func (m *machine) load(th *simThread, memIdx int) int64 {
+	m.applyDrains(th.time)
+	v := int64(-1)
+	forwarded := false
+	for i := len(th.buf) - 1; i >= 0; i-- {
+		if th.buf[i].memIdx == memIdx {
+			v, forwarded = th.buf[i].val, true
+			break
+		}
+	}
+	if !forwarded {
+		v = m.mem[memIdx]
+	}
+	if m.trace != nil {
+		m.trace.add(TraceEvent{Time: th.time, Thread: th.id, Kind: TraceLoad, Loc: m.locOf(memIdx),
+			Value: v, Iter: th.iter, Forwarded: forwarded})
+	}
+	th.time += m.cost(th)
+	return v
+}
+
+// fence blocks the thread until its store buffer has fully drained.
+func (m *machine) fence(th *simThread) {
+	for _, e := range th.buf {
+		if e.drainAt > th.time {
+			th.time = e.drainAt
+		}
+	}
+	th.time += m.cfg.FenceCost
+	if m.trace != nil {
+		m.trace.add(TraceEvent{Time: th.time, Thread: th.id, Kind: TraceFence, Iter: th.iter})
+	}
+}
+
+// minTimeThread picks the runnable thread with the smallest clock; a
+// thread is runnable while runnable(th) is true. Returns nil when none.
+func (m *machine) minTimeThread(runnable func(*simThread) bool) *simThread {
+	var best *simThread
+	for _, th := range m.threads {
+		if !runnable(th) {
+			continue
+		}
+		if best == nil || th.time < best.time || (th.time == best.time && th.id < best.id) {
+			best = th
+		}
+	}
+	return best
+}
+
+func (m *machine) maxTime() int64 {
+	var max int64
+	for _, th := range m.threads {
+		if th.time > max {
+			max = th.time
+		}
+	}
+	return max
+}
+
+// ----- litmus7-style synchronized execution -----
+
+// RunSynced executes n iterations of the litmus test under the given
+// synchronization mode. Iterations use disjoint memory cells, as litmus7
+// does, so each iteration's outcome is well-defined even without
+// synchronization; in ModeNone only temporally overlapping same-index
+// iterations interact.
+func RunSynced(t *litmus.Test, n int, mode Mode, cfg Config) (*SyncedResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("sim: negative iteration count %d", n)
+	}
+	locs := t.Locs()
+	locIdx := make(map[litmus.Loc]int, len(locs))
+	for i, l := range locs {
+		locIdx[l] = i
+	}
+	m := &machine{
+		cfg:   cfg,
+		pso:   cfg.Relaxation == memmodel.PSO,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		mem:   make([]int64, len(locs)*n),
+		trace: newTrace(cfg.TraceSize),
+		locs:  locs,
+		cells: n,
+	}
+	res := &SyncedResult{
+		Regs:      make([][]int64, len(t.Threads)),
+		RegCounts: t.Regs(),
+		Mem:       m.mem,
+		Locs:      locs,
+		N:         n,
+	}
+	if n == 0 {
+		res.Trace = m.trace
+		return res, nil
+	}
+	for li, loc := range locs {
+		if v := t.Init[loc]; v != 0 {
+			for i := 0; i < n; i++ {
+				m.mem[li*n+i] = v
+			}
+		}
+	}
+	for ti := range t.Threads {
+		th := &simThread{id: ti, speed: 100}
+		for _, in := range t.Threads[ti].Instrs {
+			si := simInstr{kind: in.Kind, reg: in.Reg, val: in.Value}
+			if in.Kind != litmus.OpFence {
+				si.locIdx = locIdx[in.Loc]
+			}
+			th.prog = append(th.prog, si)
+		}
+		m.threads = append(m.threads, th)
+		res.Regs[ti] = make([]int64, res.RegCounts[ti]*n)
+	}
+
+	p := mode.params()
+	if mode == ModeNone {
+		m.runFree(t, n, p, res)
+	} else {
+		m.runBarriered(t, n, mode, p, res)
+	}
+	m.settle()
+	res.Ticks = m.maxTime()
+	res.Trace = m.trace
+	return res, nil
+}
+
+// runBarriered executes iteration-by-iteration with a barrier release
+// before each.
+func (m *machine) runBarriered(t *litmus.Test, n int, mode Mode, p modeParams, res *SyncedResult) {
+	for iter := 0; iter < n; iter++ {
+		// All threads arrive; the barrier charges its cost from the last
+		// arrival and releases everyone with mode-specific spread.
+		arrival := m.maxTime()
+		costJitter := uniform(m.rng, -p.barrierTicks/10, p.barrierTicks/10)
+		release := arrival + p.barrierTicks + costJitter
+		for _, th := range m.threads {
+			off := uniform(m.rng, 0, p.releaseSpread)
+			if p.stagger > 0 {
+				off += int64(th.id) * (p.stagger + uniform(m.rng, -p.stagger/4, p.stagger/4))
+			}
+			if p.flush {
+				// userfence: propagate pending writes during the barrier.
+				for _, e := range th.buf {
+					if e.drainAt > release {
+						release = e.drainAt
+					}
+				}
+			}
+			th.time = release + off
+			th.pc = 0
+			th.iter = iter
+			m.newIteration(th, p.iterOverhead)
+		}
+		// Event loop over this iteration's bodies.
+		for {
+			th := m.minTimeThread(func(th *simThread) bool { return th.pc < len(th.prog) })
+			if th == nil {
+				break
+			}
+			m.step(th, res)
+		}
+	}
+}
+
+// runFree executes all iterations continuously with no barriers.
+func (m *machine) runFree(t *litmus.Test, n int, p modeParams, res *SyncedResult) {
+	for _, th := range m.threads {
+		th.time = uniform(m.rng, 0, m.cfg.LaunchSpread)
+		m.newIteration(th, p.iterOverhead)
+	}
+	for {
+		th := m.minTimeThread(func(th *simThread) bool { return th.iter < n })
+		if th == nil {
+			break
+		}
+		m.step(th, res)
+		if th.pc >= len(th.prog) {
+			th.pc = 0
+			th.iter++
+			if th.iter < n {
+				m.newIteration(th, p.iterOverhead)
+			}
+		}
+	}
+}
+
+// step executes one instruction of a synced-mode thread.
+func (m *machine) step(th *simThread, res *SyncedResult) {
+	in := th.prog[th.pc]
+	base := in.locIdx*res.N + th.iter
+	switch in.kind {
+	case litmus.OpStore:
+		m.store(th, base, in.val)
+	case litmus.OpLoad:
+		v := m.load(th, base)
+		res.Regs[th.id][th.iter*res.RegCounts[th.id]+in.reg] = v
+	case litmus.OpFence:
+		m.fence(th)
+	}
+	th.pc++
+}
+
+// ----- PerpLE-style perpetual execution -----
+
+// RunPerpetual executes n synchronization-free iterations of a perpetual
+// test: threads are released once within LaunchSpread ticks and then run
+// independently, storing arithmetic-sequence values to shared cells and
+// recording every load into the buf arrays.
+func RunPerpetual(pt *core.PerpetualTest, n int, cfg Config) (*PerpetualResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("sim: negative iteration count %d", n)
+	}
+	t := pt.Orig
+	locs := t.Locs()
+	locIdx := make(map[litmus.Loc]int, len(locs))
+	for i, l := range locs {
+		locIdx[l] = i
+	}
+	m := &machine{
+		cfg:   cfg,
+		pso:   cfg.Relaxation == memmodel.PSO,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		mem:   make([]int64, len(locs)),
+		trace: newTrace(cfg.TraceSize),
+		locs:  locs,
+		cells: 1,
+	}
+	bufs := core.NewBufSet(pt, n)
+	for ti := range t.Threads {
+		th := &simThread{id: ti, speed: 100}
+		slot := 0
+		for _, in := range t.Threads[ti].Instrs {
+			si := simInstr{kind: in.Kind}
+			switch in.Kind {
+			case litmus.OpStore:
+				s := pt.StoreForValue(in.Loc, in.Value)
+				si.locIdx = locIdx[in.Loc]
+				si.k, si.a = s.K, s.A
+			case litmus.OpLoad:
+				si.locIdx = locIdx[in.Loc]
+				si.slot = slot
+				slot++
+			}
+			th.prog = append(th.prog, si)
+		}
+		th.time = uniform(m.rng, 0, cfg.LaunchSpread)
+		m.newIteration(th, cfg.PerpIterOverhead)
+		m.threads = append(m.threads, th)
+	}
+	if n > 0 {
+		for {
+			th := m.minTimeThread(func(th *simThread) bool { return th.iter < n })
+			if th == nil {
+				break
+			}
+			in := th.prog[th.pc]
+			switch in.kind {
+			case litmus.OpStore:
+				m.store(th, in.locIdx, in.k*int64(th.iter)+in.a)
+			case litmus.OpLoad:
+				v := m.load(th, in.locIdx)
+				bufs.Bufs[th.id][pt.Reads[th.id]*th.iter+in.slot] = v
+			case litmus.OpFence:
+				m.fence(th)
+			}
+			th.pc++
+			if th.pc >= len(th.prog) {
+				th.pc = 0
+				th.iter++
+				if th.iter < n {
+					m.newIteration(th, cfg.PerpIterOverhead)
+				}
+			}
+		}
+	}
+	m.settle()
+	return &PerpetualResult{Bufs: bufs, Ticks: m.maxTime(), Trace: m.trace}, nil
+}

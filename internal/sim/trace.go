@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"perple/internal/litmus"
+)
+
+// TraceKind classifies a trace event.
+type TraceKind int
+
+const (
+	// TraceStore: a store issued into the thread's buffer.
+	TraceStore TraceKind = iota
+	// TraceDrain: a buffered store reached shared memory.
+	TraceDrain
+	// TraceLoad: a load completed (Forwarded tells from where).
+	TraceLoad
+	// TraceFence: an MFENCE completed (buffer empty).
+	TraceFence
+	// TracePreempt: the thread suffered a preemption stall.
+	TracePreempt
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceStore:
+		return "store"
+	case TraceDrain:
+		return "drain"
+	case TraceLoad:
+		return "load"
+	case TraceFence:
+		return "fence"
+	case TracePreempt:
+		return "preempt"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one recorded machine event.
+type TraceEvent struct {
+	Time   int64
+	Thread int
+	Kind   TraceKind
+	Loc    litmus.Loc
+	Value  int64
+	Iter   int
+	// Forwarded marks loads served from the thread's own store buffer.
+	Forwarded bool
+	// DrainAt is the scheduled drain time of an issued store.
+	DrainAt int64
+}
+
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case TraceStore:
+		return fmt.Sprintf("%8d t%d i%-5d store [%s] <- %d (drains @%d)", e.Time, e.Thread, e.Iter, e.Loc, e.Value, e.DrainAt)
+	case TraceDrain:
+		return fmt.Sprintf("%8d t%d         drain [%s] = %d", e.Time, e.Thread, e.Loc, e.Value)
+	case TraceLoad:
+		src := "mem"
+		if e.Forwarded {
+			src = "fwd"
+		}
+		return fmt.Sprintf("%8d t%d i%-5d load  [%s] -> %d (%s)", e.Time, e.Thread, e.Iter, e.Loc, e.Value, src)
+	case TraceFence:
+		return fmt.Sprintf("%8d t%d i%-5d mfence", e.Time, e.Thread, e.Iter)
+	case TracePreempt:
+		return fmt.Sprintf("%8d t%d i%-5d preempted for %d ticks", e.Time, e.Thread, e.Iter, e.Value)
+	default:
+		return fmt.Sprintf("%8d t%d ?", e.Time, e.Thread)
+	}
+}
+
+// Trace is a bounded ring of machine events; when full, the oldest events
+// are overwritten, keeping the tail of the run.
+type Trace struct {
+	events  []TraceEvent
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// newTrace returns a trace keeping the last size events, or nil when
+// size ≤ 0 (tracing off; the hot paths test for nil).
+func newTrace(size int) *Trace {
+	if size <= 0 {
+		return nil
+	}
+	return &Trace{events: make([]TraceEvent, 0, size)}
+}
+
+func (tr *Trace) add(e TraceEvent) {
+	if len(tr.events) < cap(tr.events) {
+		tr.events = append(tr.events, e)
+		return
+	}
+	tr.events[tr.next] = e
+	tr.next = (tr.next + 1) % len(tr.events)
+	tr.wrapped = true
+	tr.dropped++
+}
+
+// Events returns the recorded events in the order the machine processed
+// them. Drain events are recorded when the drain is applied (at the next
+// load or at settle time), so their timestamps may precede neighbouring
+// events; sort by Time for a strict timeline.
+func (tr *Trace) Events() []TraceEvent {
+	if tr == nil {
+		return nil
+	}
+	if !tr.wrapped {
+		return append([]TraceEvent(nil), tr.events...)
+	}
+	out := make([]TraceEvent, 0, len(tr.events))
+	out = append(out, tr.events[tr.next:]...)
+	out = append(out, tr.events[:tr.next]...)
+	return out
+}
+
+// Dropped reports how many events the ring discarded.
+func (tr *Trace) Dropped() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.dropped
+}
+
+// String renders the trace, one event per line.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "... %d earlier events dropped ...\n", d)
+	}
+	for _, e := range tr.Events() {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
