@@ -1,6 +1,7 @@
 package perple
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -158,7 +159,7 @@ func BenchmarkCountExhaustiveParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := counter.CountExhaustiveParallel(bufs, workers); err != nil {
+				if _, err := counter.CountExhaustiveParallel(context.Background(), bufs, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

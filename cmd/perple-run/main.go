@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -130,7 +131,7 @@ func run() error {
 	if *tool == "perple-exh" && *workers != 1 && res.Bufs != nil {
 		// Re-count in parallel over the kept buffers (identical result,
 		// wall-clock speedup on multi-core hosts).
-		if res.Exhaustive, err = counter.CountExhaustiveParallel(res.Bufs, *workers); err != nil {
+		if res.Exhaustive, err = counter.CountExhaustiveParallel(context.Background(), res.Bufs, *workers); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,91 @@
+// Command perple-serve runs the campaign scheduler as a long-lived HTTP
+// service: clients submit campaign specs (litmus suite × machine presets
+// × tools × iteration budget), the service shards and executes them on a
+// context-aware worker pool, and progress, metrics, and merged results
+// are observable while runs are in flight. Campaigns checkpoint under
+// -checkpoint-dir, so a run killed with the service resumes when the
+// same spec is resubmitted against the same checkpoint file.
+//
+// Endpoints:
+//
+//	GET  /healthz                  liveness probe
+//	GET  /metrics                  aggregate scheduler gauges (JSON)
+//	POST /campaigns                submit a spec JSON, returns {"id": ...}
+//	GET  /campaigns                list campaigns
+//	GET  /campaigns/{id}           status + metrics snapshot
+//	GET  /campaigns/{id}/results   merged totals once finished
+//	POST /campaigns/{id}/cancel    abort a running campaign
+//
+// Usage:
+//
+//	perple-serve -addr :8077 -checkpoint-dir /var/lib/perple
+//	curl -X POST localhost:8077/campaigns -d '{"dir":"testdata/suite","tools":["mixed"],"iterations":20000,"shard_size":5000}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"perple/internal/campaign"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "perple-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8077", "listen address")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for per-campaign checkpoint files (empty disables checkpointing)")
+	flag.Parse()
+
+	srv := campaign.NewServer()
+	if *checkpointDir != "" {
+		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+			return err
+		}
+		srv.CheckpointDir = *checkpointDir
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("perple-serve listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: abort campaigns (their checkpoints persist),
+	// then drain HTTP connections.
+	log.Printf("perple-serve shutting down")
+	srv.CancelAll()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

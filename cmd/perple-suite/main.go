@@ -4,6 +4,9 @@
 // Section VII-G workflow as a tool: PerpLE for the convertible tests and
 // litmus7 for the rest.
 //
+// A failing test no longer aborts the sweep: failures are collected,
+// summarized after the table, and reflected in the exit status.
+//
 // Usage:
 //
 //	perple-suite                                   # built-in suite, PerpLE heuristic
@@ -12,16 +15,29 @@
 //	perple-suite -preset pso                       # fault-injection machine
 //	perple-suite -mixed                            # §VII-G campaign: PerpLE where
 //	                                               # convertible, litmus7-user elsewhere
+//
+// With -campaign the corpus is handed to the campaign scheduler
+// (internal/campaign): sharded jobs, a context-aware worker pool,
+// retries, and optional checkpoint/resume — the same engine behind
+// perple-serve.
+//
+//	perple-suite -campaign -dir testdata/suite -n 50000 -shard-size 10000 \
+//	    -checkpoint /tmp/suite.json      # Ctrl-C, rerun, and it resumes
+//	perple-suite -campaign -spec campaign.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
+	"perple/internal/campaign"
 	"perple/internal/core"
 	"perple/internal/harness"
 	"perple/internal/litmus"
@@ -44,7 +60,17 @@ func run() error {
 	seed := flag.Int64("seed", 1, "simulator seed")
 	preset := flag.String("preset", "default", "machine preset (default, pso, slow-drain, fast-drain, no-preempt, heavy-preempt)")
 	exhCap := flag.Int("exhcap", 2000, "iteration cap for the exhaustive counter (-1 = uncapped)")
+	useCampaign := flag.Bool("campaign", false, "delegate the sweep to the campaign scheduler (sharded, parallel, resumable)")
+	specPath := flag.String("spec", "", "campaign spec JSON file (implies -campaign; overrides the other flags)")
+	checkpoint := flag.String("checkpoint", "", "campaign checkpoint file: progress is saved there and a rerun resumes")
+	shardSize := flag.Int("shard-size", 0, "campaign iterations per shard (default: one shard per test/tool/preset)")
+	workers := flag.Int("workers", 0, "campaign worker goroutines (default: GOMAXPROCS)")
 	flag.Parse()
+
+	if *useCampaign || *specPath != "" {
+		return runCampaign(*specPath, *dir, *tool, *mixed, *n, *seed, *preset, *exhCap,
+			*checkpoint, *shardSize, *workers)
+	}
 
 	cfg, err := sim.Preset(*preset)
 	if err != nil {
@@ -61,10 +87,15 @@ func run() error {
 
 	tb := stats.NewTable("test", "tool", "target", "ticks", "rate/Mtick", "note")
 	var totalTicks, totalTargets int64
+	var failures []string
 	for _, test := range tests {
 		row, err := runOne(test, *tool, *mixed, *n, *exhCap, cfg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", test.Name, err)
+			// Collect and keep sweeping: one broken test must not hide
+			// the results of the other 39.
+			failures = append(failures, fmt.Sprintf("%s: %v", test.Name, err))
+			tb.AddRow(test.Name, "-", "-", "-", "-", "FAILED")
+			continue
 		}
 		totalTicks += row.ticks
 		totalTargets += row.target
@@ -73,6 +104,89 @@ func run() error {
 	}
 	fmt.Print(tb.String())
 	fmt.Printf("\ncampaign totals: %d target occurrences, %d simulated ticks\n", totalTargets, totalTicks)
+	if len(failures) > 0 {
+		fmt.Printf("\n%d test(s) failed:\n", len(failures))
+		for _, f := range failures {
+			fmt.Printf("  %s\n", f)
+		}
+		return fmt.Errorf("%d of %d tests failed", len(failures), len(tests))
+	}
+	return nil
+}
+
+// runCampaign hands the sweep to the campaign scheduler. The spec comes
+// from -spec JSON when given, otherwise it is assembled from the same
+// flags the sequential path uses.
+func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, preset string,
+	exhCap int, checkpoint string, shardSize, workers int) error {
+	var spec campaign.Spec
+	if specPath != "" {
+		loaded, err := campaign.LoadSpec(specPath)
+		if err != nil {
+			return err
+		}
+		spec = loaded
+	} else {
+		campaignTool := tool
+		if mixed {
+			campaignTool = "mixed"
+		}
+		spec = campaign.Spec{
+			Dir:        dir,
+			Tools:      []string{campaignTool},
+			Presets:    []string{preset},
+			Seed:       seed,
+			Iterations: n,
+			ShardSize:  shardSize,
+			ExhCap:     exhCap,
+			Workers:    workers,
+		}
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+	}
+
+	camp, err := campaign.New(spec)
+	if err != nil {
+		return err
+	}
+	testNames := map[string]bool{}
+	for _, job := range camp.Jobs() {
+		testNames[job.Test] = true
+	}
+	fmt.Printf("campaign: %d jobs (%d tests), %d workers",
+		len(camp.Jobs()), len(testNames), spec.Workers)
+	if checkpoint != "" {
+		fmt.Printf(", checkpoint %s", checkpoint)
+	}
+	fmt.Println()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	metrics := &campaign.Metrics{}
+	done := 0
+	res, err := camp.Run(ctx, campaign.Options{
+		CheckpointPath: checkpoint,
+		Metrics:        metrics,
+		OnJobDone: func(jr *campaign.JobResult) {
+			done++
+			fmt.Fprintf(os.Stderr, "\r%d/%d jobs", done+int(metrics.JobsRestored.Load()), len(camp.Jobs()))
+		},
+	})
+	fmt.Fprintln(os.Stderr)
+	if res != nil {
+		fmt.Print(res.Render())
+	}
+	if err != nil {
+		if checkpoint != "" {
+			return fmt.Errorf("%w (progress saved to %s; rerun to resume)", err, checkpoint)
+		}
+		return err
+	}
+	if len(res.Failures) > 0 {
+		return fmt.Errorf("%d job(s) failed", len(res.Failures))
+	}
 	return nil
 }
 

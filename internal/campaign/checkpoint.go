@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+)
+
+// checkpointVersion guards the snapshot format; a mismatch refuses to
+// resume rather than silently mis-merging.
+const checkpointVersion = 1
+
+// Checkpoint is the on-disk campaign snapshot: the (defaulted) spec that
+// generated the job list plus every completed job's full result. Because
+// job results are deterministic functions of their shard seed, and
+// campaign aggregation is order-invariant, restoring Done and running
+// only the remaining jobs reproduces the uninterrupted campaign's totals
+// exactly.
+type Checkpoint struct {
+	Version int          `json:"version"`
+	Spec    Spec         `json:"spec"`
+	Done    []*JobResult `json:"done"`
+}
+
+// SaveCheckpoint writes the snapshot atomically (temp file + rename in
+// the destination directory), so a crash mid-write leaves the previous
+// snapshot intact. Done is stored sorted by job ID for stable diffs.
+func SaveCheckpoint(path string, spec Spec, done map[int]*JobResult) error {
+	cp := Checkpoint{Version: checkpointVersion, Spec: spec}
+	cp.Done = make([]*JobResult, 0, len(done))
+	for _, jr := range done {
+		cp.Done = append(cp.Done, jr)
+	}
+	sort.Slice(cp.Done, func(i, j int) bool { return cp.Done[i].JobID < cp.Done[j].JobID })
+
+	data, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: writing checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("campaign: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a snapshot and verifies it belongs to the given
+// spec: resuming a checkpoint from a different campaign would merge
+// unrelated shards, so any spec difference is an error rather than a
+// warning.
+func LoadCheckpoint(path string, spec Spec) (map[int]*JobResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("campaign: decoding checkpoint %s: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	if err := cp.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint %s spec: %w", path, err)
+	}
+	if !reflect.DeepEqual(normalizeSpec(cp.Spec), normalizeSpec(spec)) {
+		return nil, fmt.Errorf("campaign: checkpoint %s was written by a different spec", path)
+	}
+	done := make(map[int]*JobResult, len(cp.Done))
+	for _, jr := range cp.Done {
+		if jr == nil {
+			continue
+		}
+		if _, dup := done[jr.JobID]; dup {
+			return nil, fmt.Errorf("campaign: checkpoint %s lists job %d twice", path, jr.JobID)
+		}
+		done[jr.JobID] = jr
+	}
+	return done, nil
+}
+
+// normalizeSpec strips fields that do not influence the job list or its
+// results, so a resume may legitimately change them (worker count,
+// retry budget, name).
+func normalizeSpec(s Spec) Spec {
+	s.Name = ""
+	s.Workers = 0
+	s.MaxRetries = 0
+	return s
+}

@@ -1,0 +1,297 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// run states reported by the status endpoint.
+const (
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateCancelled = "cancelled"
+	StateFailed    = "failed"
+)
+
+// serverRun is one submitted campaign: the scheduler invocation plus the
+// bookkeeping the HTTP surface reports.
+type serverRun struct {
+	id      string
+	spec    Spec
+	cancel  context.CancelFunc
+	metrics *Metrics
+	started time.Time
+
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	results  *Results
+	finished time.Time
+}
+
+func (r *serverRun) setFinished(res *Results, err error, cancelled bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results = res
+	r.finished = time.Now()
+	switch {
+	case cancelled:
+		r.state = StateCancelled
+	case err != nil:
+		r.state = StateFailed
+	default:
+		r.state = StateDone
+	}
+	if err != nil {
+		r.errMsg = err.Error()
+	}
+}
+
+// Server exposes the campaign scheduler over HTTP. All handlers are
+// stdlib-only; campaigns execute on background goroutines, so the
+// health, metrics, and status endpoints answer while runs are in
+// flight.
+type Server struct {
+	// CheckpointDir, when non-empty, gives every submitted campaign a
+	// checkpoint file (<id>.json) under it.
+	CheckpointDir string
+
+	mu   sync.Mutex
+	runs map[string]*serverRun
+	seq  int
+
+	started time.Time
+}
+
+// NewServer returns an empty campaign server.
+func NewServer() *Server {
+	return &Server{runs: map[string]*serverRun{}, started: time.Now()}
+}
+
+// Handler builds the route table:
+//
+//	GET  /healthz                  liveness
+//	GET  /metrics                  aggregate scheduler gauges (expvar-style JSON)
+//	POST /campaigns                submit a spec, returns {"id": ...}
+//	GET  /campaigns                list campaigns
+//	GET  /campaigns/{id}           status + per-run metrics snapshot
+//	GET  /campaigns/{id}/results   merged totals (409 until the run finishes)
+//	POST /campaigns/{id}/cancel    abort a running campaign
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
+	return mux
+}
+
+// CancelAll aborts every running campaign (used for graceful shutdown).
+func (s *Server) CancelAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.runs {
+		r.cancel()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"uptime_sec": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := make([]*serverRun, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+
+	var agg Snapshot
+	var running int
+	for _, r := range runs {
+		agg.Merge(r.metrics.Snapshot())
+		r.mu.Lock()
+		if r.state == StateRunning {
+			running++
+		}
+		r.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"campaigns":         len(runs),
+		"campaigns_running": running,
+		"uptime_sec":        time.Since(s.started).Seconds(),
+		"scheduler":         agg,
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	spec, err := ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	camp, err := New(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("c%04d", s.seq)
+	ctx, cancel := context.WithCancel(context.Background())
+	run := &serverRun{
+		id:      id,
+		spec:    camp.Spec,
+		cancel:  cancel,
+		metrics: &Metrics{},
+		started: time.Now(),
+		state:   StateRunning,
+	}
+	s.runs[id] = run
+	s.mu.Unlock()
+
+	opts := Options{Metrics: run.metrics}
+	if s.CheckpointDir != "" {
+		opts.CheckpointPath = filepath.Join(s.CheckpointDir, id+".json")
+	}
+	go func() {
+		defer cancel()
+		res, err := camp.Run(ctx, opts)
+		run.setFinished(res, err, errors.Is(err, context.Canceled))
+	}()
+
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":   id,
+		"jobs": len(camp.jobs),
+	})
+}
+
+func (s *Server) lookup(req *http.Request) (*serverRun, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[req.PathValue("id")]
+	return r, ok
+}
+
+// runStatus is the status endpoint's JSON shape.
+type runStatus struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name,omitempty"`
+	State    string   `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	Started  string   `json:"started"`
+	Finished string   `json:"finished,omitempty"`
+	Metrics  Snapshot `json:"metrics"`
+}
+
+func (r *serverRun) status() runStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := runStatus{
+		ID:      r.id,
+		Name:    r.spec.Name,
+		State:   r.state,
+		Error:   r.errMsg,
+		Started: r.started.UTC().Format(time.RFC3339),
+		Metrics: r.metrics.Snapshot(),
+	}
+	if !r.finished.IsZero() {
+		st.Finished = r.finished.UTC().Format(time.RFC3339)
+	}
+	return st
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := make([]*serverRun, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runs[i].id < runs[j].id })
+	out := make([]runStatus, len(runs))
+	for i, r := range runs {
+		out[i] = r.status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	run, ok := s.lookup(req)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", req.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, run.status())
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) {
+	run, ok := s.lookup(req)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", req.PathValue("id"))
+		return
+	}
+	run.mu.Lock()
+	state, res := run.state, run.results
+	run.mu.Unlock()
+	if state == StateRunning || res == nil {
+		writeError(w, http.StatusConflict, "campaign %s is still %s", run.id, state)
+		return
+	}
+	target, ticks, n := res.Totals()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     run.id,
+		"state":  state,
+		"totals": map[string]int64{"iterations": n, "target": target, "ticks": ticks},
+		"groups": res.sortedGroups(),
+		"failures": func() []JobFailure {
+			fails := make([]JobFailure, 0, len(res.Failures))
+			fails = append(fails, res.Failures...)
+			sort.Slice(fails, func(i, j int) bool { return fails[i].JobID < fails[j].JobID })
+			return fails
+		}(),
+	})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	run, ok := s.lookup(req)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", req.PathValue("id"))
+		return
+	}
+	run.cancel()
+	writeJSON(w, http.StatusOK, map[string]string{"id": run.id, "state": "cancelling"})
+}

@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the campaign scheduler's observability surface: lock-free
+// counters the worker pool and collector update in place, snapshotted
+// expvar-style by /metrics and the status endpoints. A Metrics value
+// must not be copied after first use.
+type Metrics struct {
+	// JobsTotal is the campaign's full job count, including restored
+	// ones.
+	JobsTotal atomic.Int64
+	// JobsCompleted counts jobs merged into the totals this run.
+	JobsCompleted atomic.Int64
+	// JobsRestored counts jobs restored from a checkpoint instead of
+	// re-run.
+	JobsRestored atomic.Int64
+	// JobsFailed counts jobs whose retry budget ran out.
+	JobsFailed atomic.Int64
+	// Retries counts failed attempts that were re-queued.
+	Retries atomic.Int64
+	// QueueDepth is the number of jobs not yet picked up by a worker.
+	QueueDepth atomic.Int64
+	// InFlight is the number of jobs currently executing.
+	InFlight atomic.Int64
+	// Iterations counts simulated test iterations completed this run.
+	Iterations atomic.Int64
+
+	startOnce sync.Once
+	startNano atomic.Int64
+}
+
+// Start marks the measurement epoch for the iterations/sec rate; later
+// calls are no-ops.
+func (m *Metrics) Start() {
+	m.startOnce.Do(func() { m.startNano.Store(time.Now().UnixNano()) })
+}
+
+// Snapshot is a point-in-time copy of every gauge, JSON-ready.
+type Snapshot struct {
+	JobsTotal        int64   `json:"jobs_total"`
+	JobsCompleted    int64   `json:"jobs_completed"`
+	JobsRestored     int64   `json:"jobs_restored"`
+	JobsFailed       int64   `json:"jobs_failed"`
+	Retries          int64   `json:"retries"`
+	QueueDepth       int64   `json:"queue_depth"`
+	InFlight         int64   `json:"in_flight"`
+	Iterations       int64   `json:"iterations"`
+	ElapsedSec       float64 `json:"elapsed_sec"`
+	IterationsPerSec float64 `json:"iterations_per_sec"`
+}
+
+// Snapshot reads every counter once and derives the iteration rate over
+// the elapsed time since Start.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		JobsTotal:     m.JobsTotal.Load(),
+		JobsCompleted: m.JobsCompleted.Load(),
+		JobsRestored:  m.JobsRestored.Load(),
+		JobsFailed:    m.JobsFailed.Load(),
+		Retries:       m.Retries.Load(),
+		QueueDepth:    m.QueueDepth.Load(),
+		InFlight:      m.InFlight.Load(),
+		Iterations:    m.Iterations.Load(),
+	}
+	if start := m.startNano.Load(); start > 0 {
+		s.ElapsedSec = time.Since(time.Unix(0, start)).Seconds()
+		if s.ElapsedSec > 0 {
+			s.IterationsPerSec = float64(s.Iterations) / s.ElapsedSec
+		}
+	}
+	return s
+}
+
+// Merge sums another snapshot into s, for server-level aggregation
+// across campaigns. Rates are re-derived by the caller.
+func (s *Snapshot) Merge(o Snapshot) {
+	s.JobsTotal += o.JobsTotal
+	s.JobsCompleted += o.JobsCompleted
+	s.JobsRestored += o.JobsRestored
+	s.JobsFailed += o.JobsFailed
+	s.Retries += o.Retries
+	s.QueueDepth += o.QueueDepth
+	s.InFlight += o.InFlight
+	s.Iterations += o.Iterations
+	s.IterationsPerSec += o.IterationsPerSec
+	if o.ElapsedSec > s.ElapsedSec {
+		s.ElapsedSec = o.ElapsedSec
+	}
+}

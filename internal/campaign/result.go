@@ -1,0 +1,235 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perple/internal/stats"
+)
+
+// JobResult is the mergeable outcome of one completed shard. It carries
+// everything the campaign aggregation needs — the checkpoint persists
+// these verbatim, which is what makes resumption total-preserving.
+type JobResult struct {
+	JobID  int    `json:"job_id"`
+	Test   string `json:"test"`
+	Tool   string `json:"tool"` // requested tool (see Note for fallbacks)
+	Preset string `json:"preset"`
+	Shard  int    `json:"shard"`
+	N      int    `json:"n"`
+	Seed   int64  `json:"seed"`
+
+	// Target counts target-outcome occurrences (litmus7 iterations or
+	// PerpLE frames, per the tool's semantics).
+	Target int64 `json:"target"`
+	// Ticks is the simulated runtime including synchronization or
+	// counting, per the tool's accounting.
+	Ticks int64 `json:"ticks"`
+	// Frames is the counter's examined-frame count (PerpLE tools only).
+	Frames int64 `json:"frames,omitempty"`
+	// Histogram is the full observed-outcome histogram (litmus7 tools
+	// only).
+	Histogram map[string]int64 `json:"histogram,omitempty"`
+	// Note records fallbacks ("not convertible") or caps.
+	Note string `json:"note,omitempty"`
+	// Retries is how many failed attempts preceded this result.
+	Retries int `json:"retries,omitempty"`
+}
+
+// JobFailure records a job whose retry budget ran out. Failures are not
+// checkpointed: a resumed campaign re-attempts them.
+type JobFailure struct {
+	JobID    int    `json:"job_id"`
+	Test     string `json:"test"`
+	Tool     string `json:"tool"`
+	Preset   string `json:"preset"`
+	Shard    int    `json:"shard"`
+	Attempts int    `json:"attempts"`
+	Err      string `json:"error"`
+}
+
+// GroupResult is the merged total of every shard of one (test, tool,
+// preset) combination.
+type GroupResult struct {
+	Test   string `json:"test"`
+	Tool   string `json:"tool"`
+	Preset string `json:"preset"`
+
+	Shards    int              `json:"shards"`
+	N         int64            `json:"n"`
+	Target    int64            `json:"target"`
+	Ticks     int64            `json:"ticks"`
+	Frames    int64            `json:"frames,omitempty"`
+	Histogram map[string]int64 `json:"histogram,omitempty"`
+	Notes     []string         `json:"notes,omitempty"`
+}
+
+func groupKey(test, tool, preset string) string {
+	return test + "\x1f" + tool + "\x1f" + preset
+}
+
+// Results accumulates job results into campaign totals. Accumulation is
+// commutative and associative over shards (each group's fields are sums
+// and set-unions), so any completion order — including the split between
+// a checkpoint and a resumed run — reaches identical totals.
+type Results struct {
+	Groups   map[string]*GroupResult `json:"groups"`
+	Failures []JobFailure            `json:"failures,omitempty"`
+}
+
+// NewResults returns an empty accumulator.
+func NewResults() *Results {
+	return &Results{Groups: map[string]*GroupResult{}}
+}
+
+// Add folds one job result into the campaign totals.
+func (r *Results) Add(jr *JobResult) {
+	key := groupKey(jr.Test, jr.Tool, jr.Preset)
+	g := r.Groups[key]
+	if g == nil {
+		g = &GroupResult{Test: jr.Test, Tool: jr.Tool, Preset: jr.Preset}
+		r.Groups[key] = g
+	}
+	g.Shards++
+	g.N += int64(jr.N)
+	g.Target += jr.Target
+	g.Ticks += jr.Ticks
+	g.Frames += jr.Frames
+	if len(jr.Histogram) > 0 {
+		if g.Histogram == nil {
+			g.Histogram = map[string]int64{}
+		}
+		for k, v := range jr.Histogram {
+			g.Histogram[k] += v
+		}
+	}
+	if jr.Note != "" && !contains(g.Notes, jr.Note) {
+		g.Notes = append(g.Notes, jr.Note)
+		sort.Strings(g.Notes)
+	}
+}
+
+// AddFailure records a permanently failed job.
+func (r *Results) AddFailure(f JobFailure) {
+	r.Failures = append(r.Failures, f)
+}
+
+// Merge folds another accumulator into r; merging is commutative and
+// associative like Add.
+func (r *Results) Merge(o *Results) {
+	for _, g := range o.Groups {
+		key := groupKey(g.Test, g.Tool, g.Preset)
+		dst := r.Groups[key]
+		if dst == nil {
+			dst = &GroupResult{Test: g.Test, Tool: g.Tool, Preset: g.Preset}
+			r.Groups[key] = dst
+		}
+		dst.Shards += g.Shards
+		dst.N += g.N
+		dst.Target += g.Target
+		dst.Ticks += g.Ticks
+		dst.Frames += g.Frames
+		if len(g.Histogram) > 0 {
+			if dst.Histogram == nil {
+				dst.Histogram = map[string]int64{}
+			}
+			for k, v := range g.Histogram {
+				dst.Histogram[k] += v
+			}
+		}
+		for _, note := range g.Notes {
+			if !contains(dst.Notes, note) {
+				dst.Notes = append(dst.Notes, note)
+			}
+		}
+		sort.Strings(dst.Notes)
+	}
+	r.Failures = append(r.Failures, o.Failures...)
+}
+
+// Totals sums target occurrences, simulated ticks, and iterations over
+// every group.
+func (r *Results) Totals() (target, ticks, n int64) {
+	for _, g := range r.Groups {
+		target += g.Target
+		ticks += g.Ticks
+		n += g.N
+	}
+	return target, ticks, n
+}
+
+// sortedGroups returns the groups in canonical (test, tool, preset)
+// order.
+func (r *Results) sortedGroups() []*GroupResult {
+	groups := make([]*GroupResult, 0, len(r.Groups))
+	for _, g := range r.Groups {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		a, b := groups[i], groups[j]
+		if a.Test != b.Test {
+			return a.Test < b.Test
+		}
+		if a.Tool != b.Tool {
+			return a.Tool < b.Tool
+		}
+		return a.Preset < b.Preset
+	})
+	return groups
+}
+
+// Render produces the canonical plain-text report: a per-group table in
+// sorted order, histogram totals in sorted-key order, failures by job
+// ID, and the campaign totals. The rendering is a pure function of the
+// accumulated totals, so two runs that merged the same shards — in any
+// order, with or without a checkpoint/resume split in between — render
+// byte-identical reports.
+func (r *Results) Render() string {
+	var b strings.Builder
+	tb := stats.NewTable("test", "tool", "preset", "shards", "iters", "target", "ticks", "rate/Mtick", "note")
+	for _, g := range r.sortedGroups() {
+		tb.AddRow(g.Test, g.Tool, g.Preset, g.Shards, g.N, g.Target, g.Ticks,
+			stats.Rate(g.Target, g.Ticks)*1e6, strings.Join(g.Notes, "; "))
+	}
+	b.WriteString(tb.String())
+
+	for _, g := range r.sortedGroups() {
+		if len(g.Histogram) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nhistogram %s/%s/%s (%d states):\n", g.Test, g.Tool, g.Preset, len(g.Histogram))
+		keys := make([]string, 0, len(g.Histogram))
+		for k := range g.Histogram {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-24s %d\n", k, g.Histogram[k])
+		}
+	}
+
+	if len(r.Failures) > 0 {
+		fails := append([]JobFailure(nil), r.Failures...)
+		sort.Slice(fails, func(i, j int) bool { return fails[i].JobID < fails[j].JobID })
+		fmt.Fprintf(&b, "\n%d job(s) failed:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintf(&b, "  job %d (%s/%s/%s shard %d): %s (after %d attempts)\n",
+				f.JobID, f.Test, f.Tool, f.Preset, f.Shard, f.Err, f.Attempts)
+		}
+	}
+
+	target, ticks, n := r.Totals()
+	fmt.Fprintf(&b, "\ncampaign totals: %d iterations, %d target occurrences, %d simulated ticks\n",
+		n, target, ticks)
+	return b.String()
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

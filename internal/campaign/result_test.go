@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fakeJobResults builds a deterministic pile of shard results across
+// several groups, with histograms and notes.
+func fakeJobResults(n int) []*JobResult {
+	rng := rand.New(rand.NewSource(99))
+	tests := []string{"sb", "mp", "iriw"}
+	tools := []string{"perple-heur", "litmus7-user"}
+	out := make([]*JobResult, n)
+	for i := range out {
+		jr := &JobResult{
+			JobID:  i,
+			Test:   tests[rng.Intn(len(tests))],
+			Tool:   tools[rng.Intn(len(tools))],
+			Preset: "default",
+			Shard:  i,
+			N:      100 + rng.Intn(400),
+			Target: rng.Int63n(50),
+			Ticks:  1000 + rng.Int63n(9000),
+			Frames: rng.Int63n(500),
+		}
+		if jr.Tool == "litmus7-user" {
+			jr.Histogram = map[string]int64{}
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				jr.Histogram[fmt.Sprintf("%d,|%d,|", k, k+1)] += 1 + rng.Int63n(20)
+			}
+		}
+		if rng.Intn(4) == 0 {
+			jr.Note = "not convertible"
+		}
+		out[i] = jr
+	}
+	return out
+}
+
+// TestResultsOrderInvariant: adding job results in any order, or
+// partitioning them into sub-accumulators merged in any grouping,
+// renders byte-identical campaign reports.
+func TestResultsOrderInvariant(t *testing.T) {
+	jrs := fakeJobResults(40)
+	baseline := NewResults()
+	for _, jr := range jrs {
+		baseline.Add(jr)
+	}
+	want := baseline.Render()
+
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 30; round++ {
+		perm := rng.Perm(len(jrs))
+
+		// Random partition into 1..5 accumulators, merged in random order.
+		parts := make([]*Results, 1+rng.Intn(5))
+		for i := range parts {
+			parts[i] = NewResults()
+		}
+		for _, p := range perm {
+			parts[rng.Intn(len(parts))].Add(jrs[p])
+		}
+		merged := NewResults()
+		for _, i := range rng.Perm(len(parts)) {
+			merged.Merge(parts[i])
+		}
+
+		if got := merged.Render(); got != want {
+			t.Fatalf("round %d: render differs after shuffled merge\n--- want ---\n%s\n--- got ---\n%s", round, want, got)
+		}
+	}
+}
+
+func TestResultsTotals(t *testing.T) {
+	r := NewResults()
+	r.Add(&JobResult{Test: "sb", Tool: "perple-heur", Preset: "default", N: 100, Target: 7, Ticks: 1000})
+	r.Add(&JobResult{Test: "sb", Tool: "perple-heur", Preset: "default", Shard: 1, N: 200, Target: 3, Ticks: 2000})
+	r.Add(&JobResult{Test: "mp", Tool: "litmus7-user", Preset: "pso", N: 50, Target: 1, Ticks: 500})
+	target, ticks, n := r.Totals()
+	if target != 11 || ticks != 3500 || n != 350 {
+		t.Fatalf("totals = %d/%d/%d", target, ticks, n)
+	}
+	g := r.Groups[groupKey("sb", "perple-heur", "default")]
+	if g == nil || g.Shards != 2 || g.N != 300 || g.Target != 10 {
+		t.Fatalf("group = %+v", g)
+	}
+}
+
+func TestRenderIncludesFailures(t *testing.T) {
+	r := NewResults()
+	r.Add(&JobResult{Test: "sb", Tool: "perple-heur", Preset: "default", N: 10, Target: 1, Ticks: 10})
+	r.AddFailure(JobFailure{JobID: 9, Test: "mp", Tool: "perple-exh", Preset: "pso", Attempts: 3, Err: "boom"})
+	out := r.Render()
+	for _, want := range []string{"1 job(s) failed", "job 9", "boom", "campaign totals"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"perple/internal/litmus"
+)
+
+// Options tunes one Run invocation — everything here is about *how* the
+// campaign executes; *what* it executes lives in the Spec.
+type Options struct {
+	// CheckpointPath, when non-empty, enables crash recovery: completed
+	// job results are snapshotted there, and a pre-existing snapshot for
+	// the same spec is restored instead of re-running its jobs.
+	CheckpointPath string
+
+	// CheckpointEvery batches snapshot writes to every n completed jobs;
+	// 0 means every job.
+	CheckpointEvery int
+
+	// Metrics receives the run's counters; nil allocates a private set.
+	Metrics *Metrics
+
+	// OnJobDone, when set, observes every merged job result from the
+	// collector goroutine (after checkpointing).
+	OnJobDone func(*JobResult)
+
+	// runJob overrides job execution; tests inject failures and panics
+	// here. nil selects the real harness-backed runner.
+	runJob func(ctx context.Context, job Job, test *litmus.Test, spec Spec) (*JobResult, error)
+}
+
+// Campaign is an expanded spec: the resolved corpus plus the
+// deterministic job list. One Campaign value supports one Run at a time.
+type Campaign struct {
+	Spec  Spec
+	tests map[string]*litmus.Test
+	jobs  []Job
+}
+
+// New validates the spec, resolves its corpus, and expands the job
+// list.
+func New(spec Spec) (*Campaign, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tests, err := spec.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*litmus.Test, len(tests))
+	for _, t := range tests {
+		if _, dup := byName[t.Name]; dup {
+			return nil, fmt.Errorf("campaign: corpus defines test %q twice", t.Name)
+		}
+		byName[t.Name] = t
+	}
+	return &Campaign{Spec: spec, tests: byName, jobs: spec.Jobs(tests)}, nil
+}
+
+// Jobs returns the campaign's deterministic job list.
+func (c *Campaign) Jobs() []Job { return append([]Job(nil), c.jobs...) }
+
+// outcome is what a worker hands the collector: exactly one field set.
+type outcome struct {
+	jr   *JobResult
+	fail *JobFailure
+}
+
+// Run executes the campaign: jobs not already restored from the
+// checkpoint are fanned out over Spec.Workers goroutines, each job
+// retried up to Spec.MaxRetries times with panic recovery, and results
+// merge into campaign totals as they land. Cancelling ctx aborts
+// in-flight jobs promptly (their partial work is discarded — only whole
+// jobs ever reach the totals or the checkpoint, which is what keeps
+// resumption total-preserving). Run returns the totals accumulated so
+// far together with ctx's error when cancelled.
+func (c *Campaign) Run(ctx context.Context, opts Options) (*Results, error) {
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = &Metrics{}
+	}
+	metrics.Start()
+	if opts.runJob == nil {
+		opts.runJob = runJob
+	}
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+
+	done := map[int]*JobResult{}
+	if opts.CheckpointPath != "" {
+		restored, err := LoadCheckpoint(opts.CheckpointPath, c.Spec)
+		switch {
+		case err == nil:
+			done = restored
+		case os.IsNotExist(err):
+			// Fresh campaign: nothing to restore.
+		default:
+			return nil, err
+		}
+	}
+	if err := c.validateRestored(done); err != nil {
+		return nil, err
+	}
+
+	results := NewResults()
+	restoredIDs := make([]int, 0, len(done))
+	for id := range done {
+		restoredIDs = append(restoredIDs, id)
+	}
+	sort.Ints(restoredIDs)
+	for _, id := range restoredIDs {
+		results.Add(done[id])
+	}
+
+	var pending []Job
+	for _, job := range c.jobs {
+		if _, ok := done[job.ID]; !ok {
+			pending = append(pending, job)
+		}
+	}
+	metrics.JobsTotal.Store(int64(len(c.jobs)))
+	metrics.JobsRestored.Store(int64(len(done)))
+	metrics.QueueDepth.Store(int64(len(pending)))
+	if len(pending) == 0 {
+		return results, ctx.Err()
+	}
+
+	jobCh := make(chan Job)
+	outCh := make(chan outcome, c.Spec.Workers)
+
+	go func() {
+		defer close(jobCh)
+		for _, job := range pending {
+			select {
+			case jobCh <- job:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < c.Spec.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				metrics.QueueDepth.Add(-1)
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
+				metrics.InFlight.Add(1)
+				jr, fail := c.attemptJob(ctx, job, opts, metrics)
+				metrics.InFlight.Add(-1)
+				if jr == nil && fail == nil {
+					continue // aborted mid-run by cancellation
+				}
+				outCh <- outcome{jr: jr, fail: fail}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(outCh)
+	}()
+
+	// Collector: the only goroutine touching results, done, and the
+	// checkpoint file.
+	var checkpointErr error
+	sinceSave := 0
+	for o := range outCh {
+		if o.fail != nil {
+			results.AddFailure(*o.fail)
+			continue
+		}
+		results.Add(o.jr)
+		done[o.jr.JobID] = o.jr
+		metrics.JobsCompleted.Add(1)
+		sinceSave++
+		if opts.CheckpointPath != "" && sinceSave >= every && checkpointErr == nil {
+			if checkpointErr = SaveCheckpoint(opts.CheckpointPath, c.Spec, done); checkpointErr != nil {
+				// The resume guarantee is broken: stop accepting work but
+				// keep draining so the workers can exit.
+				continue
+			}
+			sinceSave = 0
+		}
+		if opts.OnJobDone != nil {
+			opts.OnJobDone(o.jr)
+		}
+	}
+
+	if opts.CheckpointPath != "" && sinceSave > 0 && checkpointErr == nil {
+		checkpointErr = SaveCheckpoint(opts.CheckpointPath, c.Spec, done)
+	}
+	if checkpointErr != nil {
+		return results, checkpointErr
+	}
+	return results, ctx.Err()
+}
+
+// attemptJob runs one job with panic recovery and the spec's retry
+// budget. It returns (nil, nil) when the run was aborted by
+// cancellation — an abort is neither a result nor a failure.
+func (c *Campaign) attemptJob(ctx context.Context, job Job, opts Options, metrics *Metrics) (*JobResult, *JobFailure) {
+	test := c.tests[job.Test]
+	var lastErr error
+	for attempt := 0; attempt <= c.Spec.MaxRetries; attempt++ {
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+		jr, err := runRecovered(ctx, job, test, c.Spec, opts.runJob)
+		if err == nil {
+			jr.Retries = attempt
+			metrics.Iterations.Add(int64(job.N))
+			return jr, nil
+		}
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+		lastErr = err
+		if attempt < c.Spec.MaxRetries {
+			metrics.Retries.Add(1)
+		}
+	}
+	metrics.JobsFailed.Add(1)
+	return nil, &JobFailure{
+		JobID:    job.ID,
+		Test:     job.Test,
+		Tool:     job.Tool,
+		Preset:   job.Preset,
+		Shard:    job.Shard,
+		Attempts: c.Spec.MaxRetries + 1,
+		Err:      lastErr.Error(),
+	}
+}
+
+// runRecovered converts a panicking job into an ordinary error so one
+// poisoned shard cannot take down the whole campaign.
+func runRecovered(ctx context.Context, job Job, test *litmus.Test, spec Spec,
+	run func(context.Context, Job, *litmus.Test, Spec) (*JobResult, error)) (jr *JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			jr, err = nil, fmt.Errorf("campaign: job %d (%s/%s/%s shard %d) panicked: %v",
+				job.ID, job.Test, job.Tool, job.Preset, job.Shard, r)
+		}
+	}()
+	return run(ctx, job, test, spec)
+}
+
+// validateRestored cross-checks checkpointed results against the
+// expanded job list; a mismatch means the checkpoint belongs to a
+// different job expansion despite the spec check, and resuming would
+// corrupt the totals.
+func (c *Campaign) validateRestored(done map[int]*JobResult) error {
+	for id, jr := range done {
+		if id < 0 || id >= len(c.jobs) {
+			return fmt.Errorf("campaign: checkpoint references unknown job %d", id)
+		}
+		job := c.jobs[id]
+		if job.Test != jr.Test || job.Tool != jr.Tool || job.Preset != jr.Preset ||
+			job.Shard != jr.Shard || job.N != jr.N || job.Seed != jr.Seed {
+			return fmt.Errorf("campaign: checkpoint job %d does not match the spec's job expansion", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+// Package campaign is the suite-scale orchestration layer: it turns a
+// campaign spec — a set of litmus tests × machine presets × testing
+// tools × an iteration budget — into sharded jobs with deterministic
+// per-shard seeds, executes them on a context-aware worker pool with
+// panic recovery and bounded retries, merges per-shard results
+// associatively into campaign totals, and checkpoints progress so a
+// killed campaign resumes where it left off with identical final totals.
+//
+// The same scheduler backs both cmd/perple-serve (an HTTP service with
+// submit/status/results/cancel endpoints plus health and metrics) and
+// the -campaign path of cmd/perple-suite.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"perple/internal/litmus"
+	"perple/internal/sim"
+)
+
+// Spec describes one campaign. The zero value is not runnable; Validate
+// applies defaults (see the field comments) and checks the rest.
+type Spec struct {
+	// Name labels the campaign in checkpoints and server listings.
+	Name string `json:"name,omitempty"`
+
+	// Dir is a directory of .litmus files; empty selects the built-in
+	// Table II suite plus the non-convertible examples.
+	Dir string `json:"dir,omitempty"`
+
+	// Tests, when non-empty, restricts the corpus to these test names.
+	Tests []string `json:"tests,omitempty"`
+
+	// Tools are the testing tools to sweep: perple-heur, perple-exh,
+	// litmus7-{user,userfence,pthread,timebase,none}, or mixed (PerpLE
+	// where convertible, litmus7-user elsewhere). Default: perple-heur.
+	Tools []string `json:"tools,omitempty"`
+
+	// Presets are the sim machine presets to sweep. Default: default.
+	Presets []string `json:"presets,omitempty"`
+
+	// Seed is the campaign base seed; per-shard seeds are derived from it
+	// deterministically. Default: 1.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Iterations is the per-(test, tool, preset) iteration budget.
+	// Default: 10000.
+	Iterations int `json:"iterations,omitempty"`
+
+	// ShardSize splits each budget into jobs of at most this many
+	// iterations. Default: Iterations (one shard per combination).
+	ShardSize int `json:"shard_size,omitempty"`
+
+	// ExhCap bounds the exhaustive counter's iterations per shard
+	// (perple-exh only); 0 means DefaultExhCap, negative means uncapped.
+	ExhCap int `json:"exh_cap,omitempty"`
+
+	// MaxRetries bounds how many times a failing job is re-attempted
+	// before it is recorded as a failure. Default: 2.
+	MaxRetries int `json:"max_retries,omitempty"`
+
+	// Workers sizes the worker pool; 0 selects GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Spec defaults, applied by Validate.
+const (
+	DefaultIterations = 10000
+	DefaultMaxRetries = 2
+	DefaultExhCap     = 2000
+)
+
+// Validate applies defaults in place and rejects inconsistent specs.
+func (s *Spec) Validate() error {
+	if len(s.Tools) == 0 {
+		s.Tools = []string{"perple-heur"}
+	}
+	if len(s.Presets) == 0 {
+		s.Presets = []string{"default"}
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Iterations == 0 {
+		s.Iterations = DefaultIterations
+	}
+	if s.Iterations < 0 {
+		return fmt.Errorf("campaign: negative iteration budget %d", s.Iterations)
+	}
+	if s.ShardSize == 0 {
+		s.ShardSize = s.Iterations
+	}
+	if s.ShardSize < 0 {
+		return fmt.Errorf("campaign: negative shard size %d", s.ShardSize)
+	}
+	if s.MaxRetries == 0 {
+		s.MaxRetries = DefaultMaxRetries
+	}
+	if s.MaxRetries < 0 {
+		s.MaxRetries = 0
+	}
+	if s.ExhCap == 0 {
+		s.ExhCap = DefaultExhCap
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
+	}
+	for _, tool := range s.Tools {
+		if err := validateTool(tool); err != nil {
+			return err
+		}
+	}
+	for _, preset := range s.Presets {
+		if _, err := sim.Preset(preset); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateTool(tool string) error {
+	switch {
+	case tool == "perple-heur" || tool == "perple-exh" || tool == "mixed":
+		return nil
+	case strings.HasPrefix(tool, "litmus7-"):
+		_, err := sim.ParseMode(strings.TrimPrefix(tool, "litmus7-"))
+		return err
+	default:
+		return fmt.Errorf("campaign: unknown tool %q (want perple-heur, perple-exh, mixed, or litmus7-<mode>)", tool)
+	}
+}
+
+// ParseSpec decodes and validates a JSON spec.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("campaign: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads and validates a JSON spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	return ParseSpec(data)
+}
+
+// Corpus resolves the spec's test set: the built-in suite or a directory
+// of .litmus files, optionally filtered by Tests, sorted by name so job
+// expansion is deterministic.
+func (s *Spec) Corpus() ([]*litmus.Test, error) {
+	var tests []*litmus.Test
+	if s.Dir == "" {
+		for _, e := range litmus.Suite() {
+			tests = append(tests, e.Test)
+		}
+		tests = append(tests, litmus.NonConvertible()...)
+	} else {
+		entries, err := os.ReadDir(s.Dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".litmus") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(s.Dir, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			test, err := litmus.Parse(string(src))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", e.Name(), err)
+			}
+			tests = append(tests, test)
+		}
+	}
+	if len(s.Tests) > 0 {
+		want := make(map[string]bool, len(s.Tests))
+		for _, name := range s.Tests {
+			want[name] = true
+		}
+		var kept []*litmus.Test
+		for _, t := range tests {
+			if want[t.Name] {
+				kept = append(kept, t)
+				delete(want, t.Name)
+			}
+		}
+		if len(want) > 0 {
+			missing := make([]string, 0, len(want))
+			for name := range want {
+				missing = append(missing, name)
+			}
+			sort.Strings(missing)
+			return nil, fmt.Errorf("campaign: tests not in corpus: %v", missing)
+		}
+		tests = kept
+	}
+	sort.Slice(tests, func(i, j int) bool { return tests[i].Name < tests[j].Name })
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("campaign: empty corpus")
+	}
+	return tests, nil
+}
+
+// Job is one schedulable unit: one shard of one (test, tool, preset)
+// combination, with a deterministic seed derived from the campaign seed
+// and the shard's identity — never from its execution order.
+type Job struct {
+	ID     int    `json:"id"`
+	Test   string `json:"test"`
+	Tool   string `json:"tool"`
+	Preset string `json:"preset"`
+	Shard  int    `json:"shard"`
+	N      int    `json:"n"`
+	Seed   int64  `json:"seed"`
+}
+
+// Jobs expands the spec over the given corpus into the deterministic job
+// list: tests × tools × presets × shards, in sorted-corpus order, so
+// equal specs always enumerate equal jobs with equal IDs and seeds.
+func (s *Spec) Jobs(tests []*litmus.Test) []Job {
+	var jobs []Job
+	for _, test := range tests {
+		for _, tool := range s.Tools {
+			for _, preset := range s.Presets {
+				remaining := s.Iterations
+				for shard := 0; remaining > 0; shard++ {
+					n := s.ShardSize
+					if n > remaining {
+						n = remaining
+					}
+					jobs = append(jobs, Job{
+						ID:     len(jobs),
+						Test:   test.Name,
+						Tool:   tool,
+						Preset: preset,
+						Shard:  shard,
+						N:      n,
+						Seed:   shardSeed(s.Seed, test.Name, tool, preset, shard),
+					})
+					remaining -= n
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// shardSeed hashes the campaign seed and the shard's identity into a
+// positive simulator seed. FNV-1a keeps it stable across runs and
+// platforms; mixing the identity (not the job index) keeps seeds stable
+// under spec edits that only append tests or tools.
+func shardSeed(base int64, test, tool, preset string, shard int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%s|%d", base, test, tool, preset, shard)
+	seed := int64(h.Sum64() &^ (1 << 63))
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// convertibleTool resolves the "mixed" pseudo-tool and the PerpLE
+// fallback for a concrete test: PerpLE tools require a convertible
+// target (no final-memory conditions), everything else runs litmus7.
+// The returned note is non-empty when a fallback was taken.
+func convertibleTool(tool string, test *litmus.Test) (string, string) {
+	convertible := !test.Target.HasMemConds()
+	if tool == "mixed" {
+		if convertible {
+			return "perple-heur", ""
+		}
+		return "litmus7-user", ""
+	}
+	if strings.HasPrefix(tool, "perple-") && !convertible {
+		return "litmus7-user", "not convertible"
+	}
+	return tool, ""
+}

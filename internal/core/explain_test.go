@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -137,7 +138,7 @@ func TestCountExhaustiveParallelMatchesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 2, 3, 8, 100} {
-			par, err := c.CountExhaustiveParallel(bs, workers)
+			par, err := c.CountExhaustiveParallel(context.Background(), bs, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -160,7 +161,7 @@ func TestCountExhaustiveParallelEmptyAndDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.CountExhaustiveParallel(NewBufSet(pt, 0), 0)
+	res, err := c.CountExhaustiveParallel(context.Background(), NewBufSet(pt, 0), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestCountExhaustiveParallelEmptyAndDefaults(t *testing.T) {
 		t.Errorf("empty run frames = %d", res.Frames)
 	}
 	bad := &BufSet{N: 3, Bufs: [][]int64{{0}, {0, 0, 0}}}
-	if _, err := c.CountExhaustiveParallel(bad, 4); err == nil {
+	if _, err := c.CountExhaustiveParallel(context.Background(), bad, 4); err == nil {
 		t.Error("mis-shaped buffers accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,7 +14,11 @@ import (
 // evaluation is read-only and first-match-wins is per frame). workers ≤ 0
 // selects GOMAXPROCS. An engineering extension over the paper's
 // single-threaded C counters — the frame walk is embarrassingly parallel.
-func (c *Counter) CountExhaustiveParallel(bs *BufSet, workers int) (*CountResult, error) {
+//
+// Each worker polls ctx every slabCheckMask+1 frames and abandons its
+// slab on cancellation, so a cancelled count returns the context's error
+// promptly instead of walking N^TL frames to completion.
+func (c *Counter) CountExhaustiveParallel(ctx context.Context, bs *BufSet, workers int) (*CountResult, error) {
 	if err := bs.Validate(c.pt); err != nil {
 		return nil, err
 	}
@@ -25,7 +30,7 @@ func (c *Counter) CountExhaustiveParallel(bs *BufSet, workers int) (*CountResult
 		workers = n
 	}
 	if workers <= 1 || c.pt.TL() == 0 || n == 0 {
-		return c.CountExhaustive(bs)
+		return c.countExhaustiveSlab(ctx, bs, 0, n)
 	}
 
 	results := make([]*CountResult, workers)
@@ -37,7 +42,7 @@ func (c *Counter) CountExhaustiveParallel(bs *BufSet, workers int) (*CountResult
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			results[w], errs[w] = c.Clone().countExhaustiveSlab(bs, lo, hi)
+			results[w], errs[w] = c.Clone().countExhaustiveSlab(ctx, bs, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -55,18 +60,31 @@ func (c *Counter) CountExhaustiveParallel(bs *BufSet, workers int) (*CountResult
 	return total, nil
 }
 
+// slabCheckMask rate-limits the slab walk's cancellation poll to every
+// 8192 frames — cheap against the per-frame outcome evaluation while
+// still bounding cancellation latency.
+const slabCheckMask = 8191
+
 // countExhaustiveSlab walks the frames whose outermost (first load
 // thread) index lies in [lo, hi).
-func (c *Counter) countExhaustiveSlab(bs *BufSet, lo, hi int) (*CountResult, error) {
+func (c *Counter) countExhaustiveSlab(ctx context.Context, bs *BufSet, lo, hi int) (*CountResult, error) {
 	res := &CountResult{Counts: make([]int64, len(c.outcomes))}
-	if lo >= hi {
+	if lo >= hi || c.pt.TL() == 0 || bs.N == 0 {
 		return res, nil
 	}
+	done := ctx.Done()
 	n := int64(bs.N)
 	tl := c.pt.TL()
 	idx := make([]int64, tl)
 	idx[0] = int64(lo)
 	for {
+		if done != nil && res.Frames&slabCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("core: exhaustive count aborted: %w", ctx.Err())
+			default:
+			}
+		}
 		for i, t := range c.pt.LoadThreads {
 			c.vals[t] = idx[i]
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -87,7 +88,7 @@ func TestEndToEndRandomTests(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := counter.CountExhaustiveParallel(pr2.Bufs, 4)
+		par, err := counter.CountExhaustiveParallel(context.Background(), pr2.Bufs, 4)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -12,6 +12,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,6 +44,37 @@ type Litmus7Result struct {
 	Wall time.Duration
 	// Trace holds the machine-event trace when Config.TraceSize > 0.
 	Trace *sim.Trace
+}
+
+// Merge folds another shard's result of the same test and mode into r:
+// iteration counts, target/outcome tallies, the full histogram, and both
+// time accounts are summed. Merging is commutative and associative over
+// shards, so a campaign may combine per-shard results in any order (or
+// grouping) and reach identical totals. Traces are not merged: r keeps
+// its own, if any.
+func (r *Litmus7Result) Merge(o *Litmus7Result) error {
+	if r.Test.Name != o.Test.Name || r.Mode != o.Mode {
+		return fmt.Errorf("harness: cannot merge %s/%s result into %s/%s",
+			o.Test.Name, o.Mode, r.Test.Name, r.Mode)
+	}
+	if len(r.OutcomeCounts) != len(o.OutcomeCounts) {
+		return fmt.Errorf("harness: %s: outcome-count length mismatch %d vs %d",
+			r.Test.Name, len(r.OutcomeCounts), len(o.OutcomeCounts))
+	}
+	r.N += o.N
+	r.TargetCount += o.TargetCount
+	r.Ticks += o.Ticks
+	r.Wall += o.Wall
+	for i, v := range o.OutcomeCounts {
+		r.OutcomeCounts[i] += v
+	}
+	if r.Histogram == nil && len(o.Histogram) > 0 {
+		r.Histogram = map[string]int64{}
+	}
+	for k, v := range o.Histogram {
+		r.Histogram[k] += v
+	}
+	return nil
 }
 
 // compiledCond is an outcome condition resolved to flat-array offsets.
@@ -94,8 +126,15 @@ func (co compiledOutcome) match(res *sim.SyncedResult, iter int) bool {
 // synchronization mode and tallies the target outcome, the optional extra
 // outcomes of interest, and the full observed-outcome histogram.
 func RunLitmus7(t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome, cfg sim.Config) (*Litmus7Result, error) {
+	return RunLitmus7Ctx(context.Background(), t, n, mode, outcomes, cfg)
+}
+
+// RunLitmus7Ctx is RunLitmus7 under a context: both the simulated run and
+// the tally loop poll for cancellation and abort with the context's error
+// instead of finishing the remaining iterations.
+func RunLitmus7Ctx(ctx context.Context, t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome, cfg sim.Config) (*Litmus7Result, error) {
 	start := time.Now()
-	simRes, err := sim.RunSynced(t, n, mode, cfg)
+	simRes, err := sim.RunSyncedCtx(ctx, t, n, mode, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -123,8 +162,16 @@ func RunLitmus7(t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome,
 		Ticks:         simRes.Ticks,
 		Trace:         simRes.Trace,
 	}
+	done := ctx.Done()
 	key := make([]byte, 0, 64)
 	for iter := 0; iter < n; iter++ {
+		if done != nil && iter&4095 == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("harness: litmus7 tally aborted: %w", ctx.Err())
+			default:
+			}
+		}
 		if target.match(simRes, iter) {
 			res.TargetCount++
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -60,6 +61,41 @@ type PerpLEResult struct {
 	Trace *sim.Trace
 }
 
+// Merge folds another shard's PerpLE result into r: iteration counts,
+// counter tallies (via core.CountResult.Merge), and both time accounts
+// are summed. Both results must have run the same counters (Exhaustive /
+// Heuristic both present or both absent). Merging is commutative and
+// associative over shards. Raw buffers are dropped (a concatenated buf
+// array would misindex iterations) and traces are not merged.
+func (r *PerpLEResult) Merge(o *PerpLEResult) error {
+	if (r.Exhaustive == nil) != (o.Exhaustive == nil) {
+		return fmt.Errorf("harness: cannot merge PerpLE results: exhaustive counter presence differs")
+	}
+	if (r.Heuristic == nil) != (o.Heuristic == nil) {
+		return fmt.Errorf("harness: cannot merge PerpLE results: heuristic counter presence differs")
+	}
+	if r.Exhaustive != nil {
+		if err := r.Exhaustive.Merge(o.Exhaustive); err != nil {
+			return fmt.Errorf("harness: merging exhaustive counts: %w", err)
+		}
+	}
+	if r.Heuristic != nil {
+		if err := r.Heuristic.Merge(o.Heuristic); err != nil {
+			return fmt.Errorf("harness: merging heuristic counts: %w", err)
+		}
+	}
+	r.N += o.N
+	r.ExhaustiveN += o.ExhaustiveN
+	r.ExecTicks += o.ExecTicks
+	r.ExhCountTicks += o.ExhCountTicks
+	r.HeurCountTicks += o.HeurCountTicks
+	r.WallExec += o.WallExec
+	r.WallExh += o.WallExh
+	r.WallHeur += o.WallHeur
+	r.Bufs = nil
+	return nil
+}
+
 // TotalTicksExhaustive returns execution plus exhaustive counting ticks.
 func (r *PerpLEResult) TotalTicksExhaustive() int64 { return r.ExecTicks + r.ExhCountTicks }
 
@@ -70,11 +106,18 @@ func (r *PerpLEResult) TotalTicksHeuristic() int64 { return r.ExecTicks + r.Heur
 // test on the simulated machine and applies the selected outcome
 // counters.
 func RunPerpLE(pt *core.PerpetualTest, counter *core.Counter, n int, opts PerpLEOptions, cfg sim.Config) (*PerpLEResult, error) {
+	return RunPerpLECtx(context.Background(), pt, counter, n, opts, cfg)
+}
+
+// RunPerpLECtx is RunPerpLE under a context: the perpetual execution and
+// the exhaustive counter poll for cancellation and abort with the
+// context's error instead of running to completion.
+func RunPerpLECtx(ctx context.Context, pt *core.PerpetualTest, counter *core.Counter, n int, opts PerpLEOptions, cfg sim.Config) (*PerpLEResult, error) {
 	if !opts.Exhaustive && !opts.Heuristic && !opts.KeepBufs {
 		return nil, fmt.Errorf("harness: PerpLE run requests no counter and no buffers; nothing to do")
 	}
 	start := time.Now()
-	simRes, err := sim.RunPerpetual(pt, n, cfg)
+	simRes, err := sim.RunPerpetualCtx(ctx, pt, n, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +136,9 @@ func RunPerpLE(pt *core.PerpetualTest, counter *core.Counter, n int, opts PerpLE
 			bs = truncateBufs(pt, simRes.Bufs, opts.ExhaustiveCap)
 		}
 		t0 := time.Now()
-		cr, err := counter.CountExhaustive(bs)
+		// Single-worker parallel count: identical tallies to
+		// CountExhaustive, but the slab walk polls ctx.
+		cr, err := counter.CountExhaustiveParallel(ctx, bs, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -102,6 +147,9 @@ func RunPerpLE(pt *core.PerpetualTest, counter *core.Counter, n int, opts PerpLE
 		res.ExhCountTicks = int64(float64(cr.Frames) * cfg.ExhFrameTick * float64(len(counter.Outcomes())))
 	}
 	if opts.Heuristic {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("harness: heuristic count aborted: %w", err)
+		}
 		t0 := time.Now()
 		cr, err := counter.CountHeuristic(simRes.Bufs)
 		if err != nil {

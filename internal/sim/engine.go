@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -56,6 +57,34 @@ type machine struct {
 	trace   *Trace
 	locs    []litmus.Loc
 	cells   int // memory cells per location (N for synced runs, 1 for perpetual)
+
+	// done is the run context's cancellation channel (nil when the run is
+	// not cancellable); steps is the event counter that rate-limits the
+	// cancellation poll to every cancelCheckMask+1 events.
+	done  <-chan struct{}
+	steps uint
+}
+
+// cancelCheckMask rate-limits cancellation polling: the event loops poll
+// the context once every 1024 machine events, bounding both the poll cost
+// on the hot path and the cancellation latency.
+const cancelCheckMask = 1023
+
+// cancelled polls the run context at most every cancelCheckMask+1 calls.
+func (m *machine) cancelled() bool {
+	if m.done == nil {
+		return false
+	}
+	m.steps++
+	if m.steps&cancelCheckMask != 0 {
+		return false
+	}
+	select {
+	case <-m.done:
+		return true
+	default:
+		return false
+	}
 }
 
 func (m *machine) cost(th *simThread) int64 {
@@ -235,6 +264,14 @@ func (m *machine) maxTime() int64 {
 // synchronization; in ModeNone only temporally overlapping same-index
 // iterations interact.
 func RunSynced(t *litmus.Test, n int, mode Mode, cfg Config) (*SyncedResult, error) {
+	return RunSyncedCtx(context.Background(), t, n, mode, cfg)
+}
+
+// RunSyncedCtx is RunSynced under a context: the event loop polls for
+// cancellation (every iteration in barriered modes, every ~1k events in
+// ModeNone) and aborts with the context's error instead of running the
+// remaining iterations to completion.
+func RunSyncedCtx(ctx context.Context, t *litmus.Test, n int, mode Mode, cfg Config) (*SyncedResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -257,6 +294,7 @@ func RunSynced(t *litmus.Test, n int, mode Mode, cfg Config) (*SyncedResult, err
 		trace: newTrace(cfg.TraceSize),
 		locs:  locs,
 		cells: n,
+		done:  ctx.Done(),
 	}
 	res := &SyncedResult{
 		Regs:      make([][]int64, len(t.Threads)),
@@ -295,6 +333,9 @@ func RunSynced(t *litmus.Test, n int, mode Mode, cfg Config) (*SyncedResult, err
 	} else {
 		m.runBarriered(t, n, mode, p, res)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: synced run aborted: %w", err)
+	}
 	m.settle()
 	res.Ticks = m.maxTime()
 	res.Trace = m.trace
@@ -305,6 +346,9 @@ func RunSynced(t *litmus.Test, n int, mode Mode, cfg Config) (*SyncedResult, err
 // before each.
 func (m *machine) runBarriered(t *litmus.Test, n int, mode Mode, p modeParams, res *SyncedResult) {
 	for iter := 0; iter < n; iter++ {
+		if m.cancelled() {
+			return
+		}
 		// All threads arrive; the barrier charges its cost from the last
 		// arrival and releases everyone with mode-specific spread.
 		arrival := m.maxTime()
@@ -346,6 +390,9 @@ func (m *machine) runFree(t *litmus.Test, n int, p modeParams, res *SyncedResult
 		m.newIteration(th, p.iterOverhead)
 	}
 	for {
+		if m.cancelled() {
+			return
+		}
 		th := m.minTimeThread(func(th *simThread) bool { return th.iter < n })
 		if th == nil {
 			break
@@ -384,6 +431,13 @@ func (m *machine) step(th *simThread, res *SyncedResult) {
 // independently, storing arithmetic-sequence values to shared cells and
 // recording every load into the buf arrays.
 func RunPerpetual(pt *core.PerpetualTest, n int, cfg Config) (*PerpetualResult, error) {
+	return RunPerpetualCtx(context.Background(), pt, n, cfg)
+}
+
+// RunPerpetualCtx is RunPerpetual under a context: the event loop polls
+// for cancellation every ~1k machine events and aborts with the context's
+// error instead of running the remaining iterations to completion.
+func RunPerpetualCtx(ctx context.Context, pt *core.PerpetualTest, n int, cfg Config) (*PerpetualResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -404,6 +458,7 @@ func RunPerpetual(pt *core.PerpetualTest, n int, cfg Config) (*PerpetualResult, 
 		trace: newTrace(cfg.TraceSize),
 		locs:  locs,
 		cells: 1,
+		done:  ctx.Done(),
 	}
 	bufs := core.NewBufSet(pt, n)
 	for ti := range t.Threads {
@@ -429,6 +484,9 @@ func RunPerpetual(pt *core.PerpetualTest, n int, cfg Config) (*PerpetualResult, 
 	}
 	if n > 0 {
 		for {
+			if m.cancelled() {
+				return nil, fmt.Errorf("sim: perpetual run aborted: %w", ctx.Err())
+			}
 			th := m.minTimeThread(func(th *simThread) bool { return th.iter < n })
 			if th == nil {
 				break
