@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race bench vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Capture the sim/counter core benchmarks into BENCH_simcore.json
+# (committed, so future PRs can diff the perf trajectory).
+bench:
+	./scripts/bench.sh

@@ -1,0 +1,133 @@
+// perple-bench parses `go test -bench` output into a stable JSON summary
+// so benchmark trajectories can be committed and diffed across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkSim|BenchmarkCount' -benchmem . |
+//	    go run ./cmd/perple-bench -o BENCH_simcore.json
+//
+// Every benchmark line becomes one entry keyed by the benchmark name
+// (with the -cpu suffix stripped): ns/op, B/op, allocs/op, any custom
+// ReportMetric units, and a derived iters_per_sec (1e9/ns_per_op, the
+// benchmark-op rate). Non-benchmark lines pass through untouched, so the
+// tool can sit at the end of a pipe without hiding failures.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's parsed result.
+type Entry struct {
+	N           int64              `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	ItersPerSec float64            `json:"iters_per_sec"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Summary is the committed JSON document.
+type Summary struct {
+	Note       string           `json:"note"`
+	Go         string           `json:"go"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("o", "BENCH_simcore.json", "output JSON path")
+	note := flag.String("note", "go test -bench snapshot; see scripts/bench.sh", "free-form provenance note")
+	flag.Parse()
+
+	sum := Summary{
+		Note:       *note,
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]Entry{},
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the pipe stays readable
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := stripCPUSuffix(m[1])
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{N: n}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = v
+			}
+		}
+		if e.NsPerOp > 0 {
+			e.ItersPerSec = 1e9 / e.NsPerOp
+		}
+		sum.Benchmarks[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "perple-bench: reading stdin:", err)
+		os.Exit(1)
+	}
+	if len(sum.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "perple-bench: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perple-bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perple-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "perple-bench: wrote %d benchmarks to %s\n", len(sum.Benchmarks), *out)
+}
+
+// stripCPUSuffix removes go test's -N GOMAXPROCS suffix so keys are
+// stable across machines (Benchmark/sub-8 -> Benchmark/sub).
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

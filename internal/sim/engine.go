@@ -41,11 +41,19 @@ type simThread struct {
 	id    int
 	time  int64
 	speed int64 // current iteration's cost multiplier, percent
-	buf   []bufEntry
-	prog  []simInstr
-	pc    int
-	iter  int
+	// buf[head:] are the live store-buffer entries, oldest first. Front
+	// drains advance head in O(1) (the only removal under TSO's single
+	// FIFO) instead of shifting every remaining entry; the backing array
+	// is reclaimed whenever the buffer empties.
+	buf  []bufEntry
+	head int
+	prog []simInstr
+	pc   int
+	iter int
 }
+
+// live returns the thread's live store-buffer entries, oldest first.
+func (th *simThread) live() []bufEntry { return th.buf[th.head:] }
 
 // machine is the shared engine state.
 type machine struct {
@@ -119,15 +127,16 @@ func (m *machine) newIteration(th *simThread, overhead int64) {
 // (store assigns per-location-monotone drain times, so the global minimum
 // is always some location's head). Returns -1 for an empty buffer.
 func (m *machine) nextDrain(th *simThread) int {
-	if len(th.buf) == 0 {
+	live := th.live()
+	if len(live) == 0 {
 		return -1
 	}
 	if !m.pso {
 		return 0
 	}
 	best := 0
-	for i := 1; i < len(th.buf); i++ {
-		if th.buf[i].drainAt < th.buf[best].drainAt {
+	for i := 1; i < len(live); i++ {
+		if live[i].drainAt < live[best].drainAt {
 			best = i
 		}
 	}
@@ -145,7 +154,7 @@ func (m *machine) applyDrains(upTo int64) {
 			if i < 0 {
 				continue
 			}
-			at := th.buf[i].drainAt
+			at := th.live()[i].drainAt
 			if at <= upTo && (best < 0 || at < bestAt) {
 				best, bestIdx, bestAt = th.id, i, at
 			}
@@ -154,8 +163,17 @@ func (m *machine) applyDrains(upTo int64) {
 			return
 		}
 		th := m.threads[best]
-		e := th.buf[bestIdx]
-		th.buf = append(th.buf[:bestIdx], th.buf[bestIdx+1:]...)
+		e := th.live()[bestIdx]
+		if bestIdx == 0 {
+			// Front removal — the only case under TSO — is a head bump.
+			th.head++
+		} else {
+			// PSO may drain a mid-buffer entry; shift only the live tail.
+			th.buf = append(th.buf[:th.head+bestIdx], th.buf[th.head+bestIdx+1:]...)
+		}
+		if th.head == len(th.buf) {
+			th.buf, th.head = th.buf[:0], 0
+		}
 		m.mem[e.memIdx] = e.val
 		if m.trace != nil {
 			m.trace.add(TraceEvent{Time: e.drainAt, Thread: th.id, Kind: TraceDrain, Loc: m.locOf(e.memIdx), Value: e.val})
@@ -174,17 +192,18 @@ func (m *machine) settle() {
 // the thread clock.
 func (m *machine) store(th *simThread, memIdx int, val int64) {
 	drainAt := th.time + uniform(m.rng, m.cfg.DrainMin, m.cfg.DrainMax)
+	live := th.live()
 	if m.pso {
-		for i := len(th.buf) - 1; i >= 0; i-- {
-			if th.buf[i].memIdx == memIdx {
-				if drainAt <= th.buf[i].drainAt {
-					drainAt = th.buf[i].drainAt + 1
+		for i := len(live) - 1; i >= 0; i-- {
+			if live[i].memIdx == memIdx {
+				if drainAt <= live[i].drainAt {
+					drainAt = live[i].drainAt + 1
 				}
 				break
 			}
 		}
-	} else if n := len(th.buf); n > 0 && drainAt <= th.buf[n-1].drainAt {
-		drainAt = th.buf[n-1].drainAt + 1
+	} else if n := len(live); n > 0 && drainAt <= live[n-1].drainAt {
+		drainAt = live[n-1].drainAt + 1
 	}
 	th.buf = append(th.buf, bufEntry{memIdx: memIdx, val: val, drainAt: drainAt})
 	if m.trace != nil {
@@ -201,9 +220,10 @@ func (m *machine) load(th *simThread, memIdx int) int64 {
 	m.applyDrains(th.time)
 	v := int64(-1)
 	forwarded := false
-	for i := len(th.buf) - 1; i >= 0; i-- {
-		if th.buf[i].memIdx == memIdx {
-			v, forwarded = th.buf[i].val, true
+	live := th.live()
+	for i := len(live) - 1; i >= 0; i-- {
+		if live[i].memIdx == memIdx {
+			v, forwarded = live[i].val, true
 			break
 		}
 	}
@@ -220,7 +240,7 @@ func (m *machine) load(th *simThread, memIdx int) int64 {
 
 // fence blocks the thread until its store buffer has fully drained.
 func (m *machine) fence(th *simThread) {
-	for _, e := range th.buf {
+	for _, e := range th.live() {
 		if e.drainAt > th.time {
 			th.time = e.drainAt
 		}
@@ -361,7 +381,7 @@ func (m *machine) runBarriered(t *litmus.Test, n int, mode Mode, p modeParams, r
 			}
 			if p.flush {
 				// userfence: propagate pending writes during the barrier.
-				for _, e := range th.buf {
+				for _, e := range th.live() {
 					if e.drainAt > release {
 						release = e.drainAt
 					}

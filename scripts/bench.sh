@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Capture the sim/counter core benchmarks into BENCH_simcore.json so the
+# benchmark trajectory is committed and future PRs can diff against it.
+#
+#   make bench                # or: ./scripts/bench.sh
+#   BENCH_TIME=5x make bench  # heavier sampling
+#   BENCH_PAT='BenchmarkSimLitmus7' ./scripts/bench.sh  # subset
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PAT=${BENCH_PAT:-'BenchmarkSim|BenchmarkCount'}
+TIME=${BENCH_TIME:-2x}
+OUT=${BENCH_OUT:-BENCH_simcore.json}
+
+go test -run '^$' -bench "$PAT" -benchmem -benchtime "$TIME" . |
+    go run ./cmd/perple-bench -o "$OUT"
