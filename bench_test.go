@@ -247,6 +247,58 @@ func BenchmarkSimLitmus7(b *testing.B) {
 	}
 }
 
+// BenchmarkSimLitmus7Reused measures the zero-allocation steady state: a
+// compiled test rerun on a reusable Litmus7Runner. The gap to
+// BenchmarkSimLitmus7 is the per-run setup cost (compile, machine and
+// histogram allocation) the runner amortizes away; allocs/op here is the
+// hot-path allocation count and must stay ~0.
+func BenchmarkSimLitmus7Reused(b *testing.B) {
+	test, err := SuiteTest("sb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := CompileTest(test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lr, err := NewLitmus7Runner(ct, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := lr.Run(5000, ModeUser, DefaultConfig()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lr.Run(5000, ModeUser, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimLitmus7Batch measures intra-test batching: one 5000-
+// iteration litmus7-style run split across per-worker machines. On a
+// multicore host the per-op time drops near-linearly with workers; on a
+// single-core host it stays flat (the work is the same, only interleaved)
+// — the iters/sec metric makes the comparison explicit either way.
+func BenchmarkSimLitmus7Batch(b *testing.B) {
+	test, err := SuiteTest("sb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 5000
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunLitmus7Batch(test, n, ModeUser, nil, DefaultConfig(), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "iters/sec")
+		})
+	}
+}
+
 // ----- ablation benchmarks (design choices called out in DESIGN.md) -----
 
 // BenchmarkAblationDrainLatency reports the target-outcome rate as the

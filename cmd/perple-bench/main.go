@@ -27,10 +27,12 @@ import (
 
 // Entry is one benchmark's parsed result.
 type Entry struct {
-	N           int64              `json:"n"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	N       int64   `json:"n"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Pointers distinguish a measured zero (the steady-state goal) from
+	// a run without -benchmem, where the columns are absent entirely.
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
 	ItersPerSec float64            `json:"iters_per_sec"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
@@ -82,9 +84,11 @@ func main() {
 			case "ns/op":
 				e.NsPerOp = v
 			case "B/op":
-				e.BytesPerOp = v
+				b := v
+				e.BytesPerOp = &b
 			case "allocs/op":
-				e.AllocsPerOp = v
+				a := v
+				e.AllocsPerOp = &a
 			default:
 				if e.Metrics == nil {
 					e.Metrics = map[string]float64{}

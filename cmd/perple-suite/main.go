@@ -65,11 +65,12 @@ func run() error {
 	checkpoint := flag.String("checkpoint", "", "campaign checkpoint file: progress is saved there and a rerun resumes")
 	shardSize := flag.Int("shard-size", 0, "campaign iterations per shard (default: one shard per test/tool/preset)")
 	workers := flag.Int("workers", 0, "campaign worker goroutines (default: GOMAXPROCS)")
+	intraWorkers := flag.Int("intra-workers", 1, "worker goroutines inside each campaign job (result-affecting; recorded in checkpoints)")
 	flag.Parse()
 
 	if *useCampaign || *specPath != "" {
 		return runCampaign(*specPath, *dir, *tool, *mixed, *n, *seed, *preset, *exhCap,
-			*checkpoint, *shardSize, *workers)
+			*checkpoint, *shardSize, *workers, *intraWorkers)
 	}
 
 	cfg, err := sim.Preset(*preset)
@@ -118,7 +119,7 @@ func run() error {
 // from -spec JSON when given, otherwise it is assembled from the same
 // flags the sequential path uses.
 func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, preset string,
-	exhCap int, checkpoint string, shardSize, workers int) error {
+	exhCap int, checkpoint string, shardSize, workers, intraWorkers int) error {
 	var spec campaign.Spec
 	if specPath != "" {
 		loaded, err := campaign.LoadSpec(specPath)
@@ -132,14 +133,15 @@ func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, pres
 			campaignTool = "mixed"
 		}
 		spec = campaign.Spec{
-			Dir:        dir,
-			Tools:      []string{campaignTool},
-			Presets:    []string{preset},
-			Seed:       seed,
-			Iterations: n,
-			ShardSize:  shardSize,
-			ExhCap:     exhCap,
-			Workers:    workers,
+			Dir:          dir,
+			Tools:        []string{campaignTool},
+			Presets:      []string{preset},
+			Seed:         seed,
+			Iterations:   n,
+			ShardSize:    shardSize,
+			ExhCap:       exhCap,
+			Workers:      workers,
+			IntraWorkers: intraWorkers,
 		}
 		if err := spec.Validate(); err != nil {
 			return err

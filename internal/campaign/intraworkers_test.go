@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func intraSpec(intra int) Spec {
+	return Spec{
+		Name:         "intra-e2e",
+		Dir:          "../../testdata/suite",
+		Tests:        []string{"sb", "mp"},
+		Tools:        []string{"litmus7-user", "perple-heur"},
+		Seed:         7,
+		Iterations:   400,
+		ShardSize:    200,
+		Workers:      2,
+		IntraWorkers: intra,
+	}
+}
+
+func TestSpecIntraWorkersDefault(t *testing.T) {
+	var s Spec
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.IntraWorkers != 1 {
+		t.Fatalf("default IntraWorkers = %d, want 1", s.IntraWorkers)
+	}
+}
+
+// TestCampaignIntraWorkersDeterministic checks that intra-job batching
+// is deterministic: two runs of the same spec produce identical group
+// totals and histograms, regardless of worker scheduling.
+func TestCampaignIntraWorkersDeterministic(t *testing.T) {
+	run := func() map[string]*GroupResult {
+		camp, err := New(intraSpec(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := camp.Run(context.Background(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Failures) != 0 {
+			t.Fatalf("failures: %v", res.Failures)
+		}
+		return res.Groups
+	}
+	first, second := run(), run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("IntraWorkers campaign is not deterministic across runs")
+	}
+}
+
+// TestCampaignIntraWorkersChangesShardResults documents that intra-job
+// batching is result-affecting: a litmus7 shard batched 3 ways uses
+// derived per-worker seeds, so its histogram differs from the serial
+// shard's. This is exactly why IntraWorkers is checkpoint-protected.
+func TestCampaignIntraWorkersChangesShardResults(t *testing.T) {
+	run := func(intra int) map[string]*GroupResult {
+		camp, err := New(intraSpec(intra))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := camp.Run(context.Background(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Groups
+	}
+	serial, batched := run(1), run(3)
+	key := groupKey("sb", "litmus7-user", "default")
+	if reflect.DeepEqual(serial[key].Histogram, batched[key].Histogram) {
+		t.Fatal("3-way intra batching unexpectedly reproduced the serial histogram")
+	}
+	// Iteration budgets are unaffected either way.
+	if serial[key].N != batched[key].N {
+		t.Fatalf("N differs: %d vs %d", serial[key].N, batched[key].N)
+	}
+}
+
+func TestCheckpointRefusesIntraWorkersChange(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.json")
+	saved := intraSpec(2)
+	if err := saved.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(path, saved, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A changed worker count may resume; a changed intra-worker count is a
+	// different campaign.
+	relaxed := saved
+	relaxed.Workers = 9
+	if _, err := LoadCheckpoint(path, relaxed); err != nil {
+		t.Fatalf("worker-count change refused: %v", err)
+	}
+	changed := saved
+	changed.IntraWorkers = 4
+	if _, err := LoadCheckpoint(path, changed); err == nil {
+		t.Fatal("IntraWorkers change accepted on resume")
+	} else if !strings.Contains(err.Error(), "different spec") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

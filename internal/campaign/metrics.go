@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,14 +31,20 @@ type Metrics struct {
 	// Iterations counts simulated test iterations completed this run.
 	Iterations atomic.Int64
 
-	startOnce sync.Once
-	startNano atomic.Int64
+	startOnce    sync.Once
+	startNano    atomic.Int64
+	startMallocs atomic.Uint64
 }
 
-// Start marks the measurement epoch for the iterations/sec rate; later
-// calls are no-ops.
+// Start marks the measurement epoch for the iterations/sec and
+// allocations-per-iteration rates; later calls are no-ops.
 func (m *Metrics) Start() {
-	m.startOnce.Do(func() { m.startNano.Store(time.Now().UnixNano()) })
+	m.startOnce.Do(func() {
+		m.startNano.Store(time.Now().UnixNano())
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		m.startMallocs.Store(ms.Mallocs)
+	})
 }
 
 // Snapshot is a point-in-time copy of every gauge, JSON-ready.
@@ -52,6 +59,13 @@ type Snapshot struct {
 	Iterations       int64   `json:"iterations"`
 	ElapsedSec       float64 `json:"elapsed_sec"`
 	IterationsPerSec float64 `json:"iterations_per_sec"`
+	// Allocs is the process-wide heap-allocation count since Start (a
+	// runtime.MemStats.Mallocs delta), and AllocsPerIter divides it by
+	// the iterations completed. Process-wide means concurrent campaigns
+	// and the HTTP server itself are included, so read it as an upper
+	// bound on the per-iteration allocation rate of the hot path.
+	Allocs        int64   `json:"allocs"`
+	AllocsPerIter float64 `json:"allocs_per_iter"`
 }
 
 // Snapshot reads every counter once and derives the iteration rate over
@@ -72,6 +86,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		if s.ElapsedSec > 0 {
 			s.IterationsPerSec = float64(s.Iterations) / s.ElapsedSec
 		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.Allocs = int64(ms.Mallocs - m.startMallocs.Load())
+		if s.Iterations > 0 {
+			s.AllocsPerIter = float64(s.Allocs) / float64(s.Iterations)
+		}
 	}
 	return s
 }
@@ -90,5 +110,9 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.IterationsPerSec += o.IterationsPerSec
 	if o.ElapsedSec > s.ElapsedSec {
 		s.ElapsedSec = o.ElapsedSec
+	}
+	s.Allocs += o.Allocs
+	if s.Iterations > 0 {
+		s.AllocsPerIter = float64(s.Allocs) / float64(s.Iterations)
 	}
 }

@@ -42,7 +42,7 @@ func runJob(ctx context.Context, job Job, test *litmus.Test, spec Spec) (*JobRes
 		if err != nil {
 			return nil, err
 		}
-		res, err := harness.RunLitmus7Ctx(ctx, test, job.N, mode, nil, cfg)
+		res, err := harness.RunLitmus7BatchCtx(ctx, test, job.N, mode, nil, cfg, spec.IntraWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +60,7 @@ func runJob(ctx context.Context, job Job, test *litmus.Test, spec Spec) (*JobRes
 	if err != nil {
 		return nil, err
 	}
-	opts := harness.PerpLEOptions{}
+	opts := harness.PerpLEOptions{CountWorkers: spec.IntraWorkers}
 	switch tool {
 	case "perple-heur":
 		opts.Heuristic = true
@@ -72,7 +72,7 @@ func runJob(ctx context.Context, job Job, test *litmus.Test, spec Spec) (*JobRes
 	default:
 		return nil, fmt.Errorf("campaign: unknown tool %q", tool)
 	}
-	res, err := harness.RunPerpLECtx(ctx, pt, counter, job.N, opts, cfg)
+	res, err := harness.RunPerpLEBatchCtx(ctx, pt, counter, job.N, opts, cfg, spec.IntraWorkers)
 	if err != nil {
 		return nil, err
 	}

@@ -68,6 +68,15 @@ type Spec struct {
 
 	// Workers sizes the worker pool; 0 selects GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
+
+	// IntraWorkers parallelizes inside each job: a litmus7 shard runs as
+	// an IntraWorkers-way batch over sim.WorkerSeed substreams, and a
+	// PerpLE shard batches its execution the same way and fans its
+	// counting phase out over IntraWorkers goroutines. Unlike Workers
+	// this is result-affecting (a k-way batch equals the merge of k
+	// derived-seed subshards, not the serial shard), so checkpoints
+	// record it and a resume must keep it. Default: 1.
+	IntraWorkers int `json:"intra_workers,omitempty"`
 }
 
 // Spec defaults, applied by Validate.
@@ -111,6 +120,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Workers <= 0 {
 		s.Workers = runtime.GOMAXPROCS(0)
+	}
+	if s.IntraWorkers <= 0 {
+		s.IntraWorkers = 1
 	}
 	for _, tool := range s.Tools {
 		if err := validateTool(tool); err != nil {

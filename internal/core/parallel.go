@@ -60,6 +60,87 @@ func (c *Counter) CountExhaustiveParallel(ctx context.Context, bs *BufSet, worke
 	return total, nil
 }
 
+// CountHeuristicParallel is Algorithm 2 fanned out over worker
+// goroutines: the anchor-iteration range is partitioned, each worker
+// walks its slab with an independent Counter clone, and the per-outcome
+// counts are summed. Each anchor iteration is evaluated independently
+// (the substitution plan derives every other index from the anchor's
+// recorded values alone), so the result is identical to CountHeuristic.
+// workers ≤ 0 selects GOMAXPROCS.
+//
+// Like the exhaustive fan-out, workers poll ctx every slabCheckMask+1
+// frames and abandon their slab on cancellation.
+func (c *Counter) CountHeuristicParallel(ctx context.Context, bs *BufSet, workers int) (*CountResult, error) {
+	if err := bs.Validate(c.pt); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := bs.N
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || c.pt.TL() == 0 || n == 0 {
+		return c.countHeuristicSlab(ctx, bs, 0, n)
+	}
+
+	results := make([]*CountResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w], errs[w] = c.Clone().countHeuristicSlab(ctx, bs, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := &CountResult{Counts: make([]int64, len(c.outcomes))}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, fmt.Errorf("core: parallel count worker %d: %w", w, errs[w])
+		}
+		total.Frames += results[w].Frames
+		for i, v := range results[w].Counts {
+			total.Counts[i] += v
+		}
+	}
+	return total, nil
+}
+
+// countHeuristicSlab walks the anchor iterations in [lo, hi).
+func (c *Counter) countHeuristicSlab(ctx context.Context, bs *BufSet, lo, hi int) (*CountResult, error) {
+	res := &CountResult{Counts: make([]int64, len(c.outcomes))}
+	if lo >= hi || c.pt.TL() == 0 || bs.N == 0 {
+		return res, nil
+	}
+	done := ctx.Done()
+	anchor := c.pt.LoadThreads[0]
+	n := int64(bs.N)
+	for i := int64(lo); i < int64(hi); i++ {
+		if done != nil && res.Frames&slabCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("core: heuristic count aborted: %w", ctx.Err())
+			default:
+			}
+		}
+		res.Frames++
+		for oi, po := range c.outcomes {
+			c.vals[anchor] = i
+			if c.evalPinned(po, bs, n, i) {
+				res.Counts[oi]++
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
 // slabCheckMask rate-limits the slab walk's cancellation poll to every
 // 8192 frames — cheap against the per-frame outcome evaluation while
 // still bounding cancellation latency.

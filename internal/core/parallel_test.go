@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+func TestCountHeuristicParallelMatchesSequential(t *testing.T) {
+	for _, name := range []string{"sb", "mp", "iriw", "podwr001", "amd3"} {
+		pt := mustConvert(t, name)
+		pos, err := ConvertAllOutcomes(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewCounter(pt, pos)
+		bs := lockstepBufs(pt, 40)
+		seq, err := c.CountHeuristic(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 8, 100} {
+			par, err := c.CountHeuristicParallel(context.Background(), bs, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Frames != seq.Frames {
+				t.Errorf("%s workers=%d: frames %d, want %d", name, workers, par.Frames, seq.Frames)
+			}
+			for i := range seq.Counts {
+				if par.Counts[i] != seq.Counts[i] {
+					t.Errorf("%s workers=%d outcome %d: %d, want %d",
+						name, workers, i, par.Counts[i], seq.Counts[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCountHeuristicParallelEmptyAndErrors(t *testing.T) {
+	pt := mustConvert(t, "sb")
+	c, err := NewTargetCounter(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.CountHeuristicParallel(context.Background(), NewBufSet(pt, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 0 {
+		t.Errorf("empty run frames = %d", res.Frames)
+	}
+	bad := &BufSet{N: 3, Bufs: [][]int64{{0}, {0, 0, 0}}}
+	if _, err := c.CountHeuristicParallel(context.Background(), bad, 4); err == nil {
+		t.Error("mis-shaped buffers accepted")
+	}
+}
+
+func TestCountHeuristicParallelCancellation(t *testing.T) {
+	pt := mustConvert(t, "sb")
+	c, err := NewTargetCounter(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := lockstepBufs(pt, 100000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.CountHeuristicParallel(ctx, bs, 2); err == nil {
+		t.Fatal("cancelled heuristic count returned no error")
+	}
+}

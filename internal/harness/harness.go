@@ -132,68 +132,21 @@ func RunLitmus7(t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome,
 // RunLitmus7Ctx is RunLitmus7 under a context: both the simulated run and
 // the tally loop poll for cancellation and abort with the context's error
 // instead of finishing the remaining iterations.
+//
+// Each call compiles the test and builds a fresh Litmus7Runner, so the
+// returned result owns its memory. Callers running the same test
+// repeatedly should compile once and reuse a Litmus7Runner, whose
+// steady-state runs allocate nothing.
 func RunLitmus7Ctx(ctx context.Context, t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome, cfg sim.Config) (*Litmus7Result, error) {
-	start := time.Now()
-	simRes, err := sim.RunSyncedCtx(ctx, t, n, mode, cfg)
+	ct, err := sim.Compile(t)
 	if err != nil {
 		return nil, err
 	}
-	locIdx := make(map[litmus.Loc]int, len(simRes.Locs))
-	for i, l := range simRes.Locs {
-		locIdx[l] = i
-	}
-	target, err := compileOutcome(t, t.Target, simRes.RegCounts, locIdx)
+	lr, err := NewLitmus7Runner(ct, outcomes)
 	if err != nil {
 		return nil, err
 	}
-	compiled := make([]compiledOutcome, len(outcomes))
-	for i, o := range outcomes {
-		if compiled[i], err = compileOutcome(t, o, simRes.RegCounts, locIdx); err != nil {
-			return nil, err
-		}
-	}
-
-	res := &Litmus7Result{
-		Test:          t,
-		Mode:          mode,
-		N:             n,
-		Histogram:     map[string]int64{},
-		OutcomeCounts: make([]int64, len(outcomes)),
-		Ticks:         simRes.Ticks,
-		Trace:         simRes.Trace,
-	}
-	done := ctx.Done()
-	key := make([]byte, 0, 64)
-	for iter := 0; iter < n; iter++ {
-		if done != nil && iter&4095 == 0 {
-			select {
-			case <-done:
-				return nil, fmt.Errorf("harness: litmus7 tally aborted: %w", ctx.Err())
-			default:
-			}
-		}
-		if target.match(simRes, iter) {
-			res.TargetCount++
-		}
-		for i := range compiled {
-			if compiled[i].match(simRes, iter) {
-				res.OutcomeCounts[i]++
-			}
-		}
-		key = key[:0]
-		for ti, rc := range simRes.RegCounts {
-			for r := 0; r < rc; r++ {
-				key = appendKeyInt(key, simRes.Regs[ti][iter*rc+r])
-			}
-			if rc > 0 {
-				key = append(key, '|')
-			}
-			_ = ti
-		}
-		res.Histogram[string(key)]++
-	}
-	res.Wall = time.Since(start)
-	return res, nil
+	return lr.RunCtx(ctx, n, mode, cfg)
 }
 
 func appendKeyInt(b []byte, v int64) []byte {

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"perple/internal/litmus"
+	"perple/internal/sim"
+)
+
+// Litmus7Runner executes litmus7-style runs of one compiled test on a
+// reusable sim.Runner with a reusable interned histogram: outcome
+// conditions are compiled once, the tally loop interns register files
+// instead of rendering string keys, and the result struct (including
+// the Histogram map and OutcomeCounts slice) is recycled, so repeated
+// runs allocate nothing in steady state. A Litmus7Runner is not safe
+// for concurrent use; batched runs give each worker its own over the
+// shared sim.CompiledTest.
+//
+// The returned Litmus7Result aliases the runner's state and is valid
+// only until the next Run call. The package-level RunLitmus7 /
+// RunLitmus7Ctx keep the old own-your-result contract by using a fresh
+// runner per call.
+type Litmus7Runner struct {
+	ct       *sim.CompiledTest
+	runner   *sim.Runner
+	target   compiledOutcome
+	outcomes []compiledOutcome
+	hist     *outcomeHist
+	res      Litmus7Result
+}
+
+// NewLitmus7Runner builds a reusable litmus7-style runner over a
+// compiled test, pre-compiling the target and the optional extra
+// outcomes of interest.
+func NewLitmus7Runner(ct *sim.CompiledTest, outcomes []litmus.Outcome) (*Litmus7Runner, error) {
+	t := ct.Test()
+	locIdx := make(map[litmus.Loc]int, len(ct.Locs()))
+	for i, l := range ct.Locs() {
+		locIdx[l] = i
+	}
+	target, err := compileOutcome(t, t.Target, ct.RegCounts(), locIdx)
+	if err != nil {
+		return nil, err
+	}
+	lr := &Litmus7Runner{
+		ct:       ct,
+		runner:   sim.NewRunner(ct),
+		target:   target,
+		outcomes: make([]compiledOutcome, len(outcomes)),
+		hist:     newOutcomeHist(ct.RegCounts()),
+	}
+	for i, o := range outcomes {
+		if lr.outcomes[i], err = compileOutcome(t, o, ct.RegCounts(), locIdx); err != nil {
+			return nil, err
+		}
+	}
+	lr.res = Litmus7Result{
+		Test:          t,
+		Histogram:     map[string]int64{},
+		OutcomeCounts: make([]int64, len(outcomes)),
+	}
+	return lr, nil
+}
+
+// Run executes n iterations under the given synchronization mode.
+func (lr *Litmus7Runner) Run(n int, mode sim.Mode, cfg sim.Config) (*Litmus7Result, error) {
+	return lr.RunCtx(context.Background(), n, mode, cfg)
+}
+
+// RunCtx is Run under a context; see RunLitmus7Ctx for cancellation
+// semantics.
+func (lr *Litmus7Runner) RunCtx(ctx context.Context, n int, mode sim.Mode, cfg sim.Config) (*Litmus7Result, error) {
+	start := time.Now()
+	simRes, err := lr.runner.RunSyncedCtx(ctx, n, mode, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &lr.res
+	res.Mode = mode
+	res.N = n
+	res.TargetCount = 0
+	clear(res.OutcomeCounts)
+	clear(res.Histogram)
+	res.Ticks = simRes.Ticks
+	res.Wall = 0
+	res.Trace = simRes.Trace
+	lr.hist.resetCounts()
+	done := ctx.Done()
+	for iter := 0; iter < n; iter++ {
+		if done != nil && iter&4095 == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("harness: litmus7 tally aborted: %w", ctx.Err())
+			default:
+			}
+		}
+		if lr.target.match(simRes, iter) {
+			res.TargetCount++
+		}
+		for i := range lr.outcomes {
+			if lr.outcomes[i].match(simRes, iter) {
+				res.OutcomeCounts[i]++
+			}
+		}
+		lr.hist.observe(simRes, iter)
+	}
+	lr.hist.materializeInto(res.Histogram)
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// RunLitmus7Batch is RunLitmus7BatchCtx without a context.
+func RunLitmus7Batch(t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome, cfg sim.Config, workers int) (*Litmus7Result, error) {
+	return RunLitmus7BatchCtx(context.Background(), t, n, mode, outcomes, cfg, workers)
+}
+
+// RunLitmus7BatchCtx splits an n-iteration litmus7-style run across
+// workers: worker w runs iterations [n·w/k, n·(w+1)/k) on a private
+// Litmus7Runner seeded with sim.WorkerSeed(cfg.Seed, w), and the
+// per-worker interned histograms and tallies are merged in worker
+// order. workers ≤ 0 selects GOMAXPROCS; workers is clamped to n.
+//
+// A one-worker batch is bit-identical to RunLitmus7Ctx except for Wall
+// (which reports the batch's elapsed host time, not per-worker time
+// summed). A k-worker batch equals the Merge of k serial runs with the
+// derived seeds, so results are deterministic for fixed (test, n, mode,
+// cfg, workers) regardless of scheduling. Trace, when enabled, is the
+// first worker's.
+func RunLitmus7BatchCtx(ctx context.Context, t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome, cfg sim.Config, workers int) (*Litmus7Result, error) {
+	start := time.Now()
+	ct, err := sim.Compile(t)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("harness: negative iteration count %d", n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	runners := make([]*Litmus7Runner, workers)
+	for w := range runners {
+		if runners[w], err = NewLitmus7Runner(ct, outcomes); err != nil {
+			return nil, err
+		}
+	}
+	results := make([]*Litmus7Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			results[w], errs[w] = runners[w].RunCtx(ctx, n, mode, cfg.WithSeed(sim.WorkerSeed(cfg.Seed, w)))
+		}(w, hi-lo)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: batch worker %d: %w", w, err)
+		}
+	}
+
+	out := &Litmus7Result{
+		Test:          t,
+		Mode:          mode,
+		N:             n,
+		Histogram:     map[string]int64{},
+		OutcomeCounts: make([]int64, len(outcomes)),
+		Trace:         results[0].Trace,
+	}
+	merged := newOutcomeHist(ct.RegCounts())
+	for w, r := range results {
+		out.TargetCount += r.TargetCount
+		out.Ticks += r.Ticks
+		for i, v := range r.OutcomeCounts {
+			out.OutcomeCounts[i] += v
+		}
+		merged.merge(runners[w].hist)
+	}
+	merged.materializeInto(out.Histogram)
+	out.Wall = time.Since(start)
+	return out, nil
+}

@@ -3,6 +3,8 @@ package harness
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"perple/internal/core"
@@ -23,6 +25,10 @@ type PerpLEOptions struct {
 	// N^TL blowup for the TL=3 tests in large experiments; 0 means no
 	// cap. Capping is reported via ExhaustiveN.
 	ExhaustiveCap int
+	// CountWorkers fans the counting phase out over worker goroutines
+	// (core.CountExhaustiveParallel / core.CountHeuristicParallel),
+	// leaving the counts identical. ≤ 1 counts on the calling goroutine.
+	CountWorkers int
 }
 
 // PerpLEResult is the outcome of a PerpLE run: execution plus counting,
@@ -136,9 +142,9 @@ func RunPerpLECtx(ctx context.Context, pt *core.PerpetualTest, counter *core.Cou
 			bs = truncateBufs(pt, simRes.Bufs, opts.ExhaustiveCap)
 		}
 		t0 := time.Now()
-		// Single-worker parallel count: identical tallies to
-		// CountExhaustive, but the slab walk polls ctx.
-		cr, err := counter.CountExhaustiveParallel(ctx, bs, 1)
+		// Even with one worker the parallel count is used: identical
+		// tallies to CountExhaustive, but the slab walk polls ctx.
+		cr, err := counter.CountExhaustiveParallel(ctx, bs, max(1, opts.CountWorkers))
 		if err != nil {
 			return nil, err
 		}
@@ -151,7 +157,7 @@ func RunPerpLECtx(ctx context.Context, pt *core.PerpetualTest, counter *core.Cou
 			return nil, fmt.Errorf("harness: heuristic count aborted: %w", err)
 		}
 		t0 := time.Now()
-		cr, err := counter.CountHeuristic(simRes.Bufs)
+		cr, err := counter.CountHeuristicParallel(ctx, simRes.Bufs, max(1, opts.CountWorkers))
 		if err != nil {
 			return nil, err
 		}
@@ -163,6 +169,61 @@ func RunPerpLECtx(ctx context.Context, pt *core.PerpetualTest, counter *core.Cou
 		res.Bufs = simRes.Bufs
 	}
 	return res, nil
+}
+
+// RunPerpLEBatch is RunPerpLEBatchCtx without a context.
+func RunPerpLEBatch(pt *core.PerpetualTest, counter *core.Counter, n int, opts PerpLEOptions, cfg sim.Config, workers int) (*PerpLEResult, error) {
+	return RunPerpLEBatchCtx(context.Background(), pt, counter, n, opts, cfg, workers)
+}
+
+// RunPerpLEBatchCtx splits an n-iteration PerpLE run across workers:
+// worker w executes iterations [n·w/k, n·(w+1)/k) as an independent
+// perpetual run seeded with sim.WorkerSeed(cfg.Seed, w), counts its own
+// buffers with a private Counter clone, and the per-worker results are
+// merged in worker order via PerpLEResult.Merge (wall times sum across
+// workers, so on multicore they exceed elapsed time). workers ≤ 0
+// selects GOMAXPROCS; workers is clamped to n.
+//
+// A one-worker batch is exactly RunPerpLECtx. KeepBufs is rejected for
+// workers > 1: concatenated buf arrays would misindex iterations, the
+// same reason Merge drops them. ExhaustiveCap applies per worker shard.
+func RunPerpLEBatchCtx(ctx context.Context, pt *core.PerpetualTest, counter *core.Counter, n int, opts PerpLEOptions, cfg sim.Config, workers int) (*PerpLEResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return RunPerpLECtx(ctx, pt, counter, n, opts, cfg)
+	}
+	if opts.KeepBufs {
+		return nil, fmt.Errorf("harness: KeepBufs is incompatible with batched PerpLE runs (workers=%d)", workers)
+	}
+	results := make([]*PerpLEResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			results[w], errs[w] = RunPerpLECtx(ctx, pt, counter.Clone(), n, opts, cfg.WithSeed(sim.WorkerSeed(cfg.Seed, w)))
+		}(w, hi-lo)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: batch worker %d: %w", w, err)
+		}
+	}
+	out := results[0]
+	for _, r := range results[1:] {
+		if err := out.Merge(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // truncateBufs views the first n iterations of a run.

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"perple/internal/core"
+	"perple/internal/litmus"
+)
+
+// CompiledTest is a litmus test lowered for the synced-mode machine:
+// locations resolved to dense indices, per-thread instruction programs
+// pre-built, register counts extracted. Compilation hoists the per-run
+// map builds of the original RunSynced out of the hot path; a compiled
+// test is immutable and may be shared by any number of Runners (and
+// goroutines) concurrently.
+type CompiledTest struct {
+	test      *litmus.Test
+	locs      []litmus.Loc
+	locIdx    map[litmus.Loc]int
+	progs     [][]simInstr
+	regCounts []int
+}
+
+// Compile validates and lowers a litmus test for the synced-mode
+// machine.
+func Compile(t *litmus.Test) (*CompiledTest, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	locs := t.Locs()
+	ct := &CompiledTest{
+		test:      t,
+		locs:      locs,
+		locIdx:    make(map[litmus.Loc]int, len(locs)),
+		progs:     make([][]simInstr, len(t.Threads)),
+		regCounts: t.Regs(),
+	}
+	for i, l := range locs {
+		ct.locIdx[l] = i
+	}
+	for ti := range t.Threads {
+		prog := make([]simInstr, 0, len(t.Threads[ti].Instrs))
+		for _, in := range t.Threads[ti].Instrs {
+			si := simInstr{kind: in.Kind, reg: in.Reg, val: in.Value}
+			if in.Kind != litmus.OpFence {
+				si.locIdx = ct.locIdx[in.Loc]
+			}
+			prog = append(prog, si)
+		}
+		ct.progs[ti] = prog
+	}
+	return ct, nil
+}
+
+// Test returns the source litmus test.
+func (ct *CompiledTest) Test() *litmus.Test { return ct.test }
+
+// Locs returns the shared locations in index order. Callers must not
+// modify the returned slice.
+func (ct *CompiledTest) Locs() []litmus.Loc { return ct.locs }
+
+// LocIdx resolves a location to its dense index.
+func (ct *CompiledTest) LocIdx(l litmus.Loc) (int, bool) {
+	i, ok := ct.locIdx[l]
+	return i, ok
+}
+
+// RegCounts returns the per-thread register counts. Callers must not
+// modify the returned slice.
+func (ct *CompiledTest) RegCounts() []int { return ct.regCounts }
+
+// CompiledPerpetual is a perpetual test lowered for the machine: store
+// instructions resolved to their arithmetic sequences, loads to their
+// buf slots. Immutable and shareable like CompiledTest.
+type CompiledPerpetual struct {
+	pt    *core.PerpetualTest
+	locs  []litmus.Loc
+	progs [][]simInstr
+}
+
+// CompilePerpetual lowers a perpetual test for the machine.
+func CompilePerpetual(pt *core.PerpetualTest) (*CompiledPerpetual, error) {
+	t := pt.Orig
+	locs := t.Locs()
+	locIdx := make(map[litmus.Loc]int, len(locs))
+	for i, l := range locs {
+		locIdx[l] = i
+	}
+	cp := &CompiledPerpetual{pt: pt, locs: locs, progs: make([][]simInstr, len(t.Threads))}
+	for ti := range t.Threads {
+		prog := make([]simInstr, 0, len(t.Threads[ti].Instrs))
+		slot := 0
+		for _, in := range t.Threads[ti].Instrs {
+			si := simInstr{kind: in.Kind}
+			switch in.Kind {
+			case litmus.OpStore:
+				s := pt.StoreForValue(in.Loc, in.Value)
+				si.locIdx = locIdx[in.Loc]
+				si.k, si.a = s.K, s.A
+			case litmus.OpLoad:
+				si.locIdx = locIdx[in.Loc]
+				si.slot = slot
+				slot++
+			}
+			prog = append(prog, si)
+		}
+		cp.progs[ti] = prog
+	}
+	return cp, nil
+}
+
+// Test returns the source perpetual test.
+func (cp *CompiledPerpetual) Test() *core.PerpetualTest { return cp.pt }

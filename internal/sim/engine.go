@@ -7,7 +7,6 @@ import (
 
 	"perple/internal/core"
 	"perple/internal/litmus"
-	"perple/internal/memmodel"
 )
 
 // bufEntry is a pending store awaiting drain to shared memory.
@@ -41,21 +40,15 @@ type simThread struct {
 	id    int
 	time  int64
 	speed int64 // current iteration's cost multiplier, percent
-	// buf[head:] are the live store-buffer entries, oldest first. Front
-	// drains advance head in O(1) (the only removal under TSO's single
-	// FIFO) instead of shifting every remaining entry; the backing array
-	// is reclaimed whenever the buffer empties.
-	buf  []bufEntry
-	head int
-	prog []simInstr
-	pc   int
-	iter int
+	buf   storeBuf
+	prog  []simInstr
+	pc    int
+	iter  int
 }
 
-// live returns the thread's live store-buffer entries, oldest first.
-func (th *simThread) live() []bufEntry { return th.buf[th.head:] }
-
-// machine is the shared engine state.
+// machine is the shared engine state. A machine (and its threads) is
+// owned by one Runner/PerpetualRunner and reused across runs: reset
+// reinitializes the mutable fields but keeps every backing array.
 type machine struct {
 	cfg     Config
 	pso     bool
@@ -122,21 +115,21 @@ func (m *machine) newIteration(th *simThread, overhead int64) {
 	}
 }
 
-// nextDrain returns the index of the entry that drains next from a
-// buffer: index 0 under TSO's single FIFO; the minimum drainAt under PSO
+// nextDrain returns the logical buffer index of the entry that drains
+// next: index 0 under TSO's single FIFO; the minimum drainAt under PSO
 // (store assigns per-location-monotone drain times, so the global minimum
 // is always some location's head). Returns -1 for an empty buffer.
 func (m *machine) nextDrain(th *simThread) int {
-	live := th.live()
-	if len(live) == 0 {
+	n := th.buf.len()
+	if n == 0 {
 		return -1
 	}
 	if !m.pso {
 		return 0
 	}
 	best := 0
-	for i := 1; i < len(live); i++ {
-		if live[i].drainAt < live[best].drainAt {
+	for i := 1; i < n; i++ {
+		if th.buf.at(i).drainAt < th.buf.at(best).drainAt {
 			best = i
 		}
 	}
@@ -154,7 +147,7 @@ func (m *machine) applyDrains(upTo int64) {
 			if i < 0 {
 				continue
 			}
-			at := th.live()[i].drainAt
+			at := th.buf.at(i).drainAt
 			if at <= upTo && (best < 0 || at < bestAt) {
 				best, bestIdx, bestAt = th.id, i, at
 			}
@@ -163,17 +156,7 @@ func (m *machine) applyDrains(upTo int64) {
 			return
 		}
 		th := m.threads[best]
-		e := th.live()[bestIdx]
-		if bestIdx == 0 {
-			// Front removal — the only case under TSO — is a head bump.
-			th.head++
-		} else {
-			// PSO may drain a mid-buffer entry; shift only the live tail.
-			th.buf = append(th.buf[:th.head+bestIdx], th.buf[th.head+bestIdx+1:]...)
-		}
-		if th.head == len(th.buf) {
-			th.buf, th.head = th.buf[:0], 0
-		}
+		e := th.buf.removeAt(bestIdx)
 		m.mem[e.memIdx] = e.val
 		if m.trace != nil {
 			m.trace.add(TraceEvent{Time: e.drainAt, Thread: th.id, Kind: TraceDrain, Loc: m.locOf(e.memIdx), Value: e.val})
@@ -192,20 +175,21 @@ func (m *machine) settle() {
 // the thread clock.
 func (m *machine) store(th *simThread, memIdx int, val int64) {
 	drainAt := th.time + uniform(m.rng, m.cfg.DrainMin, m.cfg.DrainMax)
-	live := th.live()
 	if m.pso {
-		for i := len(live) - 1; i >= 0; i-- {
-			if live[i].memIdx == memIdx {
-				if drainAt <= live[i].drainAt {
-					drainAt = live[i].drainAt + 1
+		for i := th.buf.len() - 1; i >= 0; i-- {
+			if e := th.buf.at(i); e.memIdx == memIdx {
+				if drainAt <= e.drainAt {
+					drainAt = e.drainAt + 1
 				}
 				break
 			}
 		}
-	} else if n := len(live); n > 0 && drainAt <= live[n-1].drainAt {
-		drainAt = live[n-1].drainAt + 1
+	} else if n := th.buf.len(); n > 0 {
+		if last := th.buf.at(n - 1); drainAt <= last.drainAt {
+			drainAt = last.drainAt + 1
+		}
 	}
-	th.buf = append(th.buf, bufEntry{memIdx: memIdx, val: val, drainAt: drainAt})
+	th.buf.push(bufEntry{memIdx: memIdx, val: val, drainAt: drainAt})
 	if m.trace != nil {
 		m.trace.add(TraceEvent{Time: th.time, Thread: th.id, Kind: TraceStore, Loc: m.locOf(memIdx),
 			Value: val, Iter: th.iter, DrainAt: drainAt})
@@ -220,10 +204,9 @@ func (m *machine) load(th *simThread, memIdx int) int64 {
 	m.applyDrains(th.time)
 	v := int64(-1)
 	forwarded := false
-	live := th.live()
-	for i := len(live) - 1; i >= 0; i-- {
-		if live[i].memIdx == memIdx {
-			v, forwarded = live[i].val, true
+	for i := th.buf.len() - 1; i >= 0; i-- {
+		if e := th.buf.at(i); e.memIdx == memIdx {
+			v, forwarded = e.val, true
 			break
 		}
 	}
@@ -240,8 +223,8 @@ func (m *machine) load(th *simThread, memIdx int) int64 {
 
 // fence blocks the thread until its store buffer has fully drained.
 func (m *machine) fence(th *simThread) {
-	for _, e := range th.live() {
-		if e.drainAt > th.time {
+	for i, n := 0, th.buf.len(); i < n; i++ {
+		if e := th.buf.at(i); e.drainAt > th.time {
 			th.time = e.drainAt
 		}
 	}
@@ -276,95 +259,11 @@ func (m *machine) maxTime() int64 {
 	return max
 }
 
-// ----- litmus7-style synchronized execution -----
-
-// RunSynced executes n iterations of the litmus test under the given
-// synchronization mode. Iterations use disjoint memory cells, as litmus7
-// does, so each iteration's outcome is well-defined even without
-// synchronization; in ModeNone only temporally overlapping same-index
-// iterations interact.
-func RunSynced(t *litmus.Test, n int, mode Mode, cfg Config) (*SyncedResult, error) {
-	return RunSyncedCtx(context.Background(), t, n, mode, cfg)
-}
-
-// RunSyncedCtx is RunSynced under a context: the event loop polls for
-// cancellation (every iteration in barriered modes, every ~1k events in
-// ModeNone) and aborts with the context's error instead of running the
-// remaining iterations to completion.
-func RunSyncedCtx(ctx context.Context, t *litmus.Test, n int, mode Mode, cfg Config) (*SyncedResult, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if err := t.Validate(); err != nil {
-		return nil, err
-	}
-	if n < 0 {
-		return nil, fmt.Errorf("sim: negative iteration count %d", n)
-	}
-	locs := t.Locs()
-	locIdx := make(map[litmus.Loc]int, len(locs))
-	for i, l := range locs {
-		locIdx[l] = i
-	}
-	m := &machine{
-		cfg:   cfg,
-		pso:   cfg.Relaxation == memmodel.PSO,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		mem:   make([]int64, len(locs)*n),
-		trace: newTrace(cfg.TraceSize),
-		locs:  locs,
-		cells: n,
-		done:  ctx.Done(),
-	}
-	res := &SyncedResult{
-		Regs:      make([][]int64, len(t.Threads)),
-		RegCounts: t.Regs(),
-		Mem:       m.mem,
-		Locs:      locs,
-		N:         n,
-	}
-	if n == 0 {
-		res.Trace = m.trace
-		return res, nil
-	}
-	for li, loc := range locs {
-		if v := t.Init[loc]; v != 0 {
-			for i := 0; i < n; i++ {
-				m.mem[li*n+i] = v
-			}
-		}
-	}
-	for ti := range t.Threads {
-		th := &simThread{id: ti, speed: 100}
-		for _, in := range t.Threads[ti].Instrs {
-			si := simInstr{kind: in.Kind, reg: in.Reg, val: in.Value}
-			if in.Kind != litmus.OpFence {
-				si.locIdx = locIdx[in.Loc]
-			}
-			th.prog = append(th.prog, si)
-		}
-		m.threads = append(m.threads, th)
-		res.Regs[ti] = make([]int64, res.RegCounts[ti]*n)
-	}
-
-	p := mode.params()
-	if mode == ModeNone {
-		m.runFree(t, n, p, res)
-	} else {
-		m.runBarriered(t, n, mode, p, res)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("sim: synced run aborted: %w", err)
-	}
-	m.settle()
-	res.Ticks = m.maxTime()
-	res.Trace = m.trace
-	return res, nil
-}
+// ----- litmus7-style synchronized event loops -----
 
 // runBarriered executes iteration-by-iteration with a barrier release
 // before each.
-func (m *machine) runBarriered(t *litmus.Test, n int, mode Mode, p modeParams, res *SyncedResult) {
+func (m *machine) runBarriered(n int, p modeParams, res *SyncedResult) {
 	for iter := 0; iter < n; iter++ {
 		if m.cancelled() {
 			return
@@ -381,8 +280,8 @@ func (m *machine) runBarriered(t *litmus.Test, n int, mode Mode, p modeParams, r
 			}
 			if p.flush {
 				// userfence: propagate pending writes during the barrier.
-				for _, e := range th.live() {
-					if e.drainAt > release {
+				for i, bn := 0, th.buf.len(); i < bn; i++ {
+					if e := th.buf.at(i); e.drainAt > release {
 						release = e.drainAt
 					}
 				}
@@ -404,7 +303,7 @@ func (m *machine) runBarriered(t *litmus.Test, n int, mode Mode, p modeParams, r
 }
 
 // runFree executes all iterations continuously with no barriers.
-func (m *machine) runFree(t *litmus.Test, n int, p modeParams, res *SyncedResult) {
+func (m *machine) runFree(n int, p modeParams, res *SyncedResult) {
 	for _, th := range m.threads {
 		th.time = uniform(m.rng, 0, m.cfg.LaunchSpread)
 		m.newIteration(th, p.iterOverhead)
@@ -444,93 +343,37 @@ func (m *machine) step(th *simThread, res *SyncedResult) {
 	th.pc++
 }
 
-// ----- PerpLE-style perpetual execution -----
+// ----- PerpLE-style perpetual event loop -----
 
-// RunPerpetual executes n synchronization-free iterations of a perpetual
-// test: threads are released once within LaunchSpread ticks and then run
-// independently, storing arithmetic-sequence values to shared cells and
-// recording every load into the buf arrays.
-func RunPerpetual(pt *core.PerpetualTest, n int, cfg Config) (*PerpetualResult, error) {
-	return RunPerpetualCtx(context.Background(), pt, n, cfg)
-}
-
-// RunPerpetualCtx is RunPerpetual under a context: the event loop polls
-// for cancellation every ~1k machine events and aborts with the context's
-// error instead of running the remaining iterations to completion.
-func RunPerpetualCtx(ctx context.Context, pt *core.PerpetualTest, n int, cfg Config) (*PerpetualResult, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if n < 0 {
-		return nil, fmt.Errorf("sim: negative iteration count %d", n)
-	}
-	t := pt.Orig
-	locs := t.Locs()
-	locIdx := make(map[litmus.Loc]int, len(locs))
-	for i, l := range locs {
-		locIdx[l] = i
-	}
-	m := &machine{
-		cfg:   cfg,
-		pso:   cfg.Relaxation == memmodel.PSO,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		mem:   make([]int64, len(locs)),
-		trace: newTrace(cfg.TraceSize),
-		locs:  locs,
-		cells: 1,
-		done:  ctx.Done(),
-	}
-	bufs := core.NewBufSet(pt, n)
-	for ti := range t.Threads {
-		th := &simThread{id: ti, speed: 100}
-		slot := 0
-		for _, in := range t.Threads[ti].Instrs {
-			si := simInstr{kind: in.Kind}
-			switch in.Kind {
-			case litmus.OpStore:
-				s := pt.StoreForValue(in.Loc, in.Value)
-				si.locIdx = locIdx[in.Loc]
-				si.k, si.a = s.K, s.A
-			case litmus.OpLoad:
-				si.locIdx = locIdx[in.Loc]
-				si.slot = slot
-				slot++
-			}
-			th.prog = append(th.prog, si)
+// runPerpetual executes n synchronization-free iterations, recording
+// every load into the buf arrays. reads[t] is the per-iteration load
+// count of thread t (the buf stride).
+func (m *machine) runPerpetual(ctx context.Context, n int, bufs *core.BufSet, reads []int) error {
+	for {
+		if m.cancelled() {
+			return fmt.Errorf("sim: perpetual run aborted: %w", ctx.Err())
 		}
-		th.time = uniform(m.rng, 0, cfg.LaunchSpread)
-		m.newIteration(th, cfg.PerpIterOverhead)
-		m.threads = append(m.threads, th)
-	}
-	if n > 0 {
-		for {
-			if m.cancelled() {
-				return nil, fmt.Errorf("sim: perpetual run aborted: %w", ctx.Err())
-			}
-			th := m.minTimeThread(func(th *simThread) bool { return th.iter < n })
-			if th == nil {
-				break
-			}
-			in := th.prog[th.pc]
-			switch in.kind {
-			case litmus.OpStore:
-				m.store(th, in.locIdx, in.k*int64(th.iter)+in.a)
-			case litmus.OpLoad:
-				v := m.load(th, in.locIdx)
-				bufs.Bufs[th.id][pt.Reads[th.id]*th.iter+in.slot] = v
-			case litmus.OpFence:
-				m.fence(th)
-			}
-			th.pc++
-			if th.pc >= len(th.prog) {
-				th.pc = 0
-				th.iter++
-				if th.iter < n {
-					m.newIteration(th, cfg.PerpIterOverhead)
-				}
+		th := m.minTimeThread(func(th *simThread) bool { return th.iter < n })
+		if th == nil {
+			return nil
+		}
+		in := th.prog[th.pc]
+		switch in.kind {
+		case litmus.OpStore:
+			m.store(th, in.locIdx, in.k*int64(th.iter)+in.a)
+		case litmus.OpLoad:
+			v := m.load(th, in.locIdx)
+			bufs.Bufs[th.id][reads[th.id]*th.iter+in.slot] = v
+		case litmus.OpFence:
+			m.fence(th)
+		}
+		th.pc++
+		if th.pc >= len(th.prog) {
+			th.pc = 0
+			th.iter++
+			if th.iter < n {
+				m.newIteration(th, m.cfg.PerpIterOverhead)
 			}
 		}
 	}
-	m.settle()
-	return &PerpetualResult{Bufs: bufs, Ticks: m.maxTime(), Trace: m.trace}, nil
 }

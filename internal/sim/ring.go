@@ -1,0 +1,65 @@
+package sim
+
+// storeBuf is a reusable ring buffer of pending stores, oldest first.
+// Pushes and front pops are O(1); the backing array is a power-of-two
+// ring that is kept across runs (reset does not free), so a steady-state
+// iteration loop performs no store-buffer allocation at all. PSO may
+// remove a mid-buffer entry (the per-location drain minimum); that case
+// shifts toward the nearer end, preserving order, and is bounded by the
+// buffer length — which stays small because drains are applied before
+// every load.
+type storeBuf struct {
+	e    []bufEntry // ring storage; len(e) is 0 or a power of two
+	head int        // physical index of the oldest live entry
+	n    int        // live entry count
+}
+
+func (b *storeBuf) len() int { return b.n }
+
+// at returns the live entry at logical index i (0 = oldest). Callers
+// must keep i < b.n; the returned pointer is invalidated by push.
+func (b *storeBuf) at(i int) *bufEntry { return &b.e[(b.head+i)&(len(b.e)-1)] }
+
+// reset empties the buffer, keeping the backing array for reuse.
+func (b *storeBuf) reset() { b.head, b.n = 0, 0 }
+
+// push appends a new youngest entry, growing the ring if full.
+func (b *storeBuf) push(e bufEntry) {
+	if b.n == len(b.e) {
+		b.grow()
+	}
+	b.e[(b.head+b.n)&(len(b.e)-1)] = e
+	b.n++
+}
+
+func (b *storeBuf) grow() {
+	ne := make([]bufEntry, max(8, 2*len(b.e)))
+	for i := 0; i < b.n; i++ {
+		ne[i] = *b.at(i)
+	}
+	b.e, b.head = ne, 0
+}
+
+// removeAt removes and returns the live entry at logical index i,
+// preserving the order of the rest. Index 0 (the only case under TSO)
+// is an O(1) head bump; interior indices shift the shorter side.
+func (b *storeBuf) removeAt(i int) bufEntry {
+	e := *b.at(i)
+	switch {
+	case i == 0:
+		b.head = (b.head + 1) & (len(b.e) - 1)
+	case i < b.n-i-1:
+		// Shift the head side up by one, then advance head.
+		for j := i; j > 0; j-- {
+			*b.at(j) = *b.at(j - 1)
+		}
+		b.head = (b.head + 1) & (len(b.e) - 1)
+	default:
+		// Shift the tail side down by one.
+		for j := i; j < b.n-1; j++ {
+			*b.at(j) = *b.at(j + 1)
+		}
+	}
+	b.n--
+	return e
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func bufEntries(b *storeBuf) []bufEntry {
+	out := make([]bufEntry, 0, b.len())
+	for i := 0; i < b.len(); i++ {
+		out = append(out, *b.at(i))
+	}
+	return out
+}
+
+func TestStoreBufFIFOOrder(t *testing.T) {
+	var b storeBuf
+	for i := 0; i < 100; i++ {
+		b.push(bufEntry{memIdx: i, val: int64(i), drainAt: int64(i)})
+	}
+	if b.len() != 100 {
+		t.Fatalf("len = %d, want 100", b.len())
+	}
+	for i := 0; i < 100; i++ {
+		e := b.removeAt(0)
+		if e.memIdx != i {
+			t.Fatalf("removeAt(0) #%d returned memIdx %d", i, e.memIdx)
+		}
+	}
+	if b.len() != 0 {
+		t.Fatalf("len = %d after draining, want 0", b.len())
+	}
+}
+
+func TestStoreBufWraparound(t *testing.T) {
+	// Interleave pushes and front-removals so the live window crosses the
+	// physical end of the storage many times.
+	var b storeBuf
+	next, expect := 0, 0
+	for round := 0; round < 500; round++ {
+		for i := 0; i < 3; i++ {
+			b.push(bufEntry{memIdx: next})
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if e := b.removeAt(0); e.memIdx != expect {
+				t.Fatalf("round %d: removed %d, want %d", round, e.memIdx, expect)
+			}
+			expect++
+		}
+	}
+	// Drain the backlog, still in FIFO order.
+	for b.len() > 0 {
+		if e := b.removeAt(0); e.memIdx != expect {
+			t.Fatalf("drain: removed %d, want %d", e.memIdx, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d entries, pushed %d", expect, next)
+	}
+}
+
+func TestStoreBufInteriorRemovePreservesOrder(t *testing.T) {
+	// Remove from random interior positions (the PSO min-drainAt case) and
+	// check the survivors keep their relative order, across enough rounds
+	// to exercise both shorter-side shifts and wrapped windows.
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		var b storeBuf
+		// Randomize the head position via push/pop churn.
+		churn := rng.Intn(20)
+		for i := 0; i < churn; i++ {
+			b.push(bufEntry{})
+		}
+		for i := 0; i < churn; i++ {
+			b.removeAt(0)
+		}
+		ref := make([]int, 0, 32)
+		for i := 0; i < 2+rng.Intn(30); i++ {
+			b.push(bufEntry{memIdx: i})
+			ref = append(ref, i)
+		}
+		for len(ref) > 0 {
+			i := rng.Intn(len(ref))
+			e := b.removeAt(i)
+			if e.memIdx != ref[i] {
+				t.Fatalf("round %d: removeAt(%d) = %d, want %d", round, i, e.memIdx, ref[i])
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+			got := bufEntries(&b)
+			if len(got) != len(ref) {
+				t.Fatalf("round %d: len = %d, want %d", round, len(got), len(ref))
+			}
+			for j, e := range got {
+				if e.memIdx != ref[j] {
+					t.Fatalf("round %d: slot %d = %d, want %d", round, j, e.memIdx, ref[j])
+				}
+			}
+		}
+	}
+}
+
+func TestStoreBufGrowthKeepsOrder(t *testing.T) {
+	// Force a grow while the window is wrapped: fill, pop a few, push past
+	// the original capacity.
+	var b storeBuf
+	for i := 0; i < 8; i++ {
+		b.push(bufEntry{memIdx: i})
+	}
+	for i := 0; i < 5; i++ {
+		b.removeAt(0)
+	}
+	for i := 8; i < 40; i++ {
+		b.push(bufEntry{memIdx: i})
+	}
+	want := 5
+	for b.len() > 0 {
+		if e := b.removeAt(0); e.memIdx != want {
+			t.Fatalf("removed %d, want %d", e.memIdx, want)
+		}
+		want++
+	}
+	if want != 40 {
+		t.Fatalf("drained up to %d, want 40", want)
+	}
+}
+
+func TestStoreBufReset(t *testing.T) {
+	var b storeBuf
+	for i := 0; i < 10; i++ {
+		b.push(bufEntry{memIdx: i})
+	}
+	b.removeAt(0)
+	b.reset()
+	if b.len() != 0 {
+		t.Fatalf("len = %d after reset, want 0", b.len())
+	}
+	b.push(bufEntry{memIdx: 99})
+	if got := b.at(0).memIdx; got != 99 {
+		t.Fatalf("at(0) after reset+push = %d, want 99", got)
+	}
+}

@@ -281,6 +281,43 @@ func RunPerpLE(pt *PerpetualTest, c *Counter, n int, opts PerpLEOptions, cfg Con
 	return harness.RunPerpLE(pt, c, n, opts, cfg)
 }
 
+// ----- compiled tests, reusable runners, batched runs -----
+
+type (
+	// CompiledTest is a litmus test lowered for the simulator, shareable
+	// across runners and goroutines.
+	CompiledTest = sim.CompiledTest
+	// Litmus7Runner reruns one compiled test with zero steady-state
+	// allocation; not safe for concurrent use.
+	Litmus7Runner = harness.Litmus7Runner
+)
+
+// CompileTest lowers a litmus test once for repeated or batched runs.
+func CompileTest(t *Test) (*CompiledTest, error) { return sim.Compile(t) }
+
+// NewLitmus7Runner builds a reusable litmus7-style runner over a
+// compiled test.
+func NewLitmus7Runner(ct *CompiledTest, outcomes []Outcome) (*Litmus7Runner, error) {
+	return harness.NewLitmus7Runner(ct, outcomes)
+}
+
+// WorkerSeed derives batch worker w's deterministic RNG seed (seed ⊕ w);
+// worker 0 reproduces the serial run.
+func WorkerSeed(seed int64, worker int) int64 { return sim.WorkerSeed(seed, worker) }
+
+// RunLitmus7Batch splits a litmus7-style run across workers with
+// deterministic per-worker seeds and merges the per-worker tallies; a
+// one-worker batch matches RunLitmus7 exactly (modulo Wall).
+func RunLitmus7Batch(t *Test, n int, mode Mode, outcomes []Outcome, cfg Config, workers int) (*Litmus7Result, error) {
+	return harness.RunLitmus7Batch(t, n, mode, outcomes, cfg, workers)
+}
+
+// RunPerpLEBatch splits a PerpLE run across workers the same way and
+// merges the per-worker results.
+func RunPerpLEBatch(pt *PerpetualTest, c *Counter, n int, opts PerpLEOptions, cfg Config, workers int) (*PerpLEResult, error) {
+	return harness.RunPerpLEBatch(pt, c, n, opts, cfg, workers)
+}
+
 // MeasureSkew extracts thread-skew samples from a perpetual run.
 func MeasureSkew(pt *PerpetualTest, bs *BufSet) []SkewSample {
 	return harness.MeasureSkew(pt, bs)
