@@ -299,6 +299,54 @@ func BenchmarkSimLitmus7Batch(b *testing.B) {
 	}
 }
 
+// BenchmarkSimLitmus7PSO measures the PSO (buggy-machine) drain path:
+// unlike TSO's O(1) FIFO front, PSO drains the per-buffer minimum
+// drainAt, and applyDrains probes every thread's minimum on every load —
+// the probe is served by the store buffer's cached minimum instead of a
+// rescan. "sb" keeps buffers shallow; "deep" runs a store-burst test
+// with a widened drain window, so buffers hold many pending stores and
+// the cached minimum replaces a real O(buf) scan per probe.
+func BenchmarkSimLitmus7PSO(b *testing.B) {
+	cfg, err := Preset("pso")
+	if err != nil {
+		b.Fatal(err)
+	}
+	deepSrc := `X86 pso-deep
+{ a=0; b=0; c=0; d=0; e=0; f=0; x=0; y=0; }
+ P0          | P1          ;
+ MOV [a],$1  | MOV [e],$1  ;
+ MOV [b],$1  | MOV [f],$1  ;
+ MOV [c],$1  | MOV [x],$1  ;
+ MOV [d],$1  | MOV [y],$1  ;
+ MOV EAX,[x] | MOV EAX,[a] ;
+ MOV EBX,[y] | MOV EBX,[b] ;
+exists (0:EAX=0 /\ 1:EAX=0)
+`
+	deep, err := ParseLitmus(deepSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deepCfg := cfg
+	deepCfg.DrainMax = cfg.DrainMax * 8
+	sb, err := SuiteTest("sb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		test *Test
+		cfg  Config
+	}{{"sb", sb, cfg}, {"deep", deep, deepCfg}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunLitmus7(bc.test, 5000, ModeUser, nil, bc.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ----- ablation benchmarks (design choices called out in DESIGN.md) -----
 
 // BenchmarkAblationDrainLatency reports the target-outcome rate as the

@@ -37,10 +37,15 @@ type Entry struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Summary is the committed JSON document.
+// Summary is the committed JSON document. The host block stamps the
+// machine shape the numbers came from, so a diff across commits can
+// tell a code regression from a different benchmark box.
 type Summary struct {
 	Note       string           `json:"note"`
 	Go         string           `json:"go"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	NumCPU     int              `json:"num_cpu"`
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	Benchmarks map[string]Entry `json:"benchmarks"`
 }
@@ -55,6 +60,9 @@ func main() {
 	sum := Summary{
 		Note:       *note,
 		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: map[string]Entry{},
 	}

@@ -8,18 +8,29 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                  liveness probe
-//	GET  /metrics                  aggregate scheduler gauges (JSON)
-//	POST /campaigns                submit a spec JSON, returns {"id": ...}
-//	GET  /campaigns                list campaigns
-//	GET  /campaigns/{id}           status + metrics snapshot
-//	GET  /campaigns/{id}/results   merged totals once finished
-//	POST /campaigns/{id}/cancel    abort a running campaign
+//	GET  /healthz                    liveness probe
+//	GET  /metrics                    aggregate scheduler gauges (JSON, or
+//	                                 Prometheus text when Accept asks for it)
+//	POST /campaigns                  submit a spec JSON, returns {"id": ...};
+//	                                 ?mode=dispatch queues for remote workers
+//	GET  /campaigns                  list campaigns
+//	GET  /campaigns/{id}             status + metrics snapshot
+//	GET  /campaigns/{id}/results     merged totals once finished
+//	                                 (?format=canonical for the byte-stable JSON)
+//	POST /campaigns/{id}/cancel      abort a running campaign
+//	GET  /campaigns/{id}/corpus      dispatch: spec + test sources for workers
+//	POST /campaigns/{id}/lease       dispatch: grant shard leases to a worker
+//	POST /campaigns/{id}/heartbeat   dispatch: extend held leases
+//	POST /campaigns/{id}/complete    dispatch: upload batched results (gzip)
+//
+// With -pprof the net/http/pprof profiling endpoints are mounted under
+// /debug/pprof/ — off by default because they expose internals.
 //
 // Usage:
 //
 //	perple-serve -addr :8077 -checkpoint-dir /var/lib/perple
 //	curl -X POST localhost:8077/campaigns -d '{"dir":"testdata/suite","tools":["mixed"],"iterations":20000,"shard_size":5000}'
+//	curl -X POST 'localhost:8077/campaigns?mode=dispatch' -d @spec.json   # then point perple-worker at it
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,9 +59,12 @@ func main() {
 func run() error {
 	addr := flag.String("addr", ":8077", "listen address")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for per-campaign checkpoint files (empty disables checkpointing)")
+	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "dispatch lease TTL before an unheartbeated shard requeues")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	srv := campaign.NewServer()
+	srv.LeaseTTL = *leaseTTL
 	if *checkpointDir != "" {
 		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
 			return err
@@ -57,9 +72,24 @@ func run() error {
 		srv.CheckpointDir = *checkpointDir
 	}
 
+	handler := srv.Handler()
+	if *pprofOn {
+		// The campaign mux owns "/", so pprof gets its own prefix mux in
+		// front rather than the DefaultServeMux side-registration.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

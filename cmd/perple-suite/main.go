@@ -24,18 +24,30 @@
 //	perple-suite -campaign -dir testdata/suite -n 50000 -shard-size 10000 \
 //	    -checkpoint /tmp/suite.json      # Ctrl-C, rerun, and it resumes
 //	perple-suite -campaign -spec campaign.json
+//
+// With -remote the same spec is submitted to a running perple-serve as a
+// dispatch-mode campaign: perple-worker fleet members execute the shards
+// and this command polls until done, then renders the merged results —
+// byte-identical to what the local -campaign path would have produced,
+// by the dispatch layer's determinism contract.
+//
+//	perple-suite -remote http://localhost:8077 -n 50000 -shard-size 10000
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"perple/internal/campaign"
 	"perple/internal/core"
@@ -66,8 +78,17 @@ func run() error {
 	shardSize := flag.Int("shard-size", 0, "campaign iterations per shard (default: one shard per test/tool/preset)")
 	workers := flag.Int("workers", 0, "campaign worker goroutines (default: GOMAXPROCS)")
 	intraWorkers := flag.Int("intra-workers", 1, "worker goroutines inside each campaign job (result-affecting; recorded in checkpoints)")
+	remote := flag.String("remote", "", "perple-serve base URL: submit the campaign as a dispatch job for perple-worker fleet members")
 	flag.Parse()
 
+	if *remote != "" {
+		spec, err := buildSpec(*specPath, *dir, *tool, *mixed, *n, *seed, *preset, *exhCap,
+			*shardSize, *workers, *intraWorkers)
+		if err != nil {
+			return err
+		}
+		return runRemote(*remote, spec)
+	}
 	if *useCampaign || *specPath != "" {
 		return runCampaign(*specPath, *dir, *tool, *mixed, *n, *seed, *preset, *exhCap,
 			*checkpoint, *shardSize, *workers, *intraWorkers)
@@ -120,32 +141,10 @@ func run() error {
 // flags the sequential path uses.
 func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, preset string,
 	exhCap int, checkpoint string, shardSize, workers, intraWorkers int) error {
-	var spec campaign.Spec
-	if specPath != "" {
-		loaded, err := campaign.LoadSpec(specPath)
-		if err != nil {
-			return err
-		}
-		spec = loaded
-	} else {
-		campaignTool := tool
-		if mixed {
-			campaignTool = "mixed"
-		}
-		spec = campaign.Spec{
-			Dir:          dir,
-			Tools:        []string{campaignTool},
-			Presets:      []string{preset},
-			Seed:         seed,
-			Iterations:   n,
-			ShardSize:    shardSize,
-			ExhCap:       exhCap,
-			Workers:      workers,
-			IntraWorkers: intraWorkers,
-		}
-		if err := spec.Validate(); err != nil {
-			return err
-		}
+	spec, err := buildSpec(specPath, dir, tool, mixed, n, seed, preset, exhCap,
+		shardSize, workers, intraWorkers)
+	if err != nil {
+		return err
 	}
 
 	camp, err := campaign.New(spec)
@@ -190,6 +189,136 @@ func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, pres
 		return fmt.Errorf("%d job(s) failed", len(res.Failures))
 	}
 	return nil
+}
+
+// buildSpec assembles a campaign spec from -spec JSON when given,
+// otherwise from the same flags the sequential path uses.
+func buildSpec(specPath, dir, tool string, mixed bool, n int, seed int64, preset string,
+	exhCap, shardSize, workers, intraWorkers int) (campaign.Spec, error) {
+	if specPath != "" {
+		return campaign.LoadSpec(specPath)
+	}
+	campaignTool := tool
+	if mixed {
+		campaignTool = "mixed"
+	}
+	spec := campaign.Spec{
+		Dir:          dir,
+		Tools:        []string{campaignTool},
+		Presets:      []string{preset},
+		Seed:         seed,
+		Iterations:   n,
+		ShardSize:    shardSize,
+		ExhCap:       exhCap,
+		Workers:      workers,
+		IntraWorkers: intraWorkers,
+	}
+	if err := spec.Validate(); err != nil {
+		return campaign.Spec{}, err
+	}
+	return spec, nil
+}
+
+// runRemote submits the spec to a perple-serve instance as a dispatch
+// campaign, polls until fleet workers finish it, and renders the merged
+// results. The test corpus must be resolvable on the server (built-in
+// suite, or a -dir path valid there).
+func runRemote(baseURL string, spec campaign.Spec) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(baseURL+"/campaigns?mode=dispatch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var submitted struct {
+		ID    string `json:"id"`
+		Jobs  int    `json:"jobs"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decoding submit response: %w", err)
+	}
+	if submitted.Error != "" {
+		return fmt.Errorf("server rejected campaign: %s", submitted.Error)
+	}
+	fmt.Printf("campaign %s: %d jobs queued for dispatch at %s — point perple-worker at it\n",
+		submitted.ID, submitted.Jobs, baseURL)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for {
+		var status struct {
+			State    string `json:"state"`
+			Error    string `json:"error"`
+			Dispatch *struct {
+				Pending int `json:"pending"`
+				Leased  int `json:"leased"`
+				Done    int `json:"done"`
+				Failed  int `json:"failed"`
+			} `json:"dispatch"`
+		}
+		if err := getJSON(ctx, client, fmt.Sprintf("%s/campaigns/%s", baseURL, submitted.ID), &status); err != nil {
+			return err
+		}
+		if d := status.Dispatch; d != nil {
+			fmt.Fprintf(os.Stderr, "\r%d done, %d leased, %d pending", d.Done, d.Leased, d.Pending)
+		}
+		if status.State != "running" {
+			fmt.Fprintln(os.Stderr)
+			if status.Error != "" {
+				return fmt.Errorf("campaign %s %s: %s", submitted.ID, status.State, status.Error)
+			}
+			break
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(os.Stderr)
+			return ctx.Err()
+		case <-time.After(time.Second):
+		}
+	}
+
+	// The canonical document is the dispatch layer's determinism surface;
+	// decode it back into an accumulator so the report matches the local
+	// -campaign rendering.
+	var doc struct {
+		Groups   []*campaign.GroupResult `json:"groups"`
+		Failures []campaign.JobFailure   `json:"failures"`
+	}
+	if err := getJSON(ctx, client, fmt.Sprintf("%s/campaigns/%s/results?format=canonical", baseURL, submitted.ID), &doc); err != nil {
+		return err
+	}
+	res := campaign.NewResults()
+	for _, g := range doc.Groups {
+		res.Groups[campaign.GroupKey(g.Test, g.Tool, g.Preset)] = g
+	}
+	res.Failures = doc.Failures
+	fmt.Print(res.Render())
+	if len(res.Failures) > 0 {
+		return fmt.Errorf("%d job(s) failed", len(res.Failures))
+	}
+	return nil
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 type rowResult struct {

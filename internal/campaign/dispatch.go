@@ -1,0 +1,414 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"perple/internal/litmus"
+)
+
+// DefaultLeaseTTL is how long a worker may sit on a leased job without
+// heartbeating before it requeues.
+const DefaultLeaseTTL = 60 * time.Second
+
+// Dispatcher runs one campaign in distributed mode: instead of
+// executing jobs on a local worker pool, it serves them to remote
+// workers as leases and merges their uploaded results. The determinism
+// contract is identical to the local scheduler's — job seeds are
+// identity-derived and merging is order-invariant — so a fleet of k
+// workers reaches byte-identical final results to a local run of the
+// same spec, whatever the interleaving of leases, expiries, and
+// uploads.
+//
+// Leases are in-memory only; the checkpoint persists completed results
+// exactly as the local scheduler does. A dispatcher rebuilt after a
+// server restart therefore restores the done set and re-leases
+// everything that was in flight — at-least-once delivery, made safe by
+// the completion fence and per-shard determinism.
+type Dispatcher struct {
+	camp   *Campaign
+	opts   Options
+	ttl    time.Duration
+	every  int
+	now    func() time.Time
+	corpus []CorpusTest
+
+	metrics *Metrics
+
+	mu            sync.Mutex
+	q             *leaseQueue
+	results       *Results
+	done          map[int]*JobResult
+	sinceSave     int
+	checkpointErr error
+	finished      bool
+	cancelled     bool
+	finishCh      chan struct{}
+}
+
+// NewDispatcher validates and restores like Campaign.Run — checkpointed
+// results are loaded and only the remaining jobs enter the lease queue
+// — then stands ready to serve leases. ttl ≤ 0 selects DefaultLeaseTTL.
+func NewDispatcher(camp *Campaign, ttl time.Duration, opts Options) (*Dispatcher, error) {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = &Metrics{}
+	}
+	metrics.Start()
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+
+	done := map[int]*JobResult{}
+	if opts.CheckpointPath != "" {
+		restored, err := LoadCheckpoint(opts.CheckpointPath, camp.Spec)
+		switch {
+		case err == nil:
+			done = restored
+		case os.IsNotExist(err):
+			// Fresh campaign.
+		default:
+			return nil, err
+		}
+	}
+	if err := camp.validateRestored(done); err != nil {
+		return nil, err
+	}
+
+	results := NewResults()
+	restoredIDs := make([]int, 0, len(done))
+	for id := range done {
+		restoredIDs = append(restoredIDs, id)
+	}
+	sort.Ints(restoredIDs)
+	for _, id := range restoredIDs {
+		results.Add(done[id])
+	}
+
+	var pending []Job
+	for _, job := range camp.jobs {
+		if _, ok := done[job.ID]; !ok {
+			pending = append(pending, job)
+		}
+	}
+
+	d := &Dispatcher{
+		camp:     camp,
+		opts:     opts,
+		ttl:      ttl,
+		every:    every,
+		now:      time.Now,
+		corpus:   buildCorpus(camp),
+		metrics:  metrics,
+		q:        newLeaseQueue(pending, ttl, camp.Spec.MaxRetries, time.Now),
+		results:  results,
+		done:     done,
+		finishCh: make(chan struct{}),
+	}
+	metrics.JobsTotal.Store(int64(len(camp.jobs)))
+	metrics.JobsRestored.Store(int64(len(done)))
+	metrics.QueueDepth.Store(int64(len(pending)))
+	if len(pending) == 0 {
+		d.finish()
+	}
+	return d, nil
+}
+
+// buildCorpus renders every campaign test back to parseable litmus
+// source, sorted by name, so workers can reconstruct the exact corpus
+// over the wire.
+func buildCorpus(camp *Campaign) []CorpusTest {
+	names := make([]string, 0, len(camp.tests))
+	for name := range camp.tests {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]CorpusTest, 0, len(names))
+	for _, name := range names {
+		out = append(out, CorpusTest{Name: name, Source: litmus.Format(camp.tests[name])})
+	}
+	return out
+}
+
+// setClock replaces the dispatcher's (and queue's) time source; tests
+// use it to force lease expiry without sleeping.
+func (d *Dispatcher) setClock(now func() time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.now = now
+	d.q.now = now
+}
+
+// Corpus returns the wire form of the campaign's spec and test set.
+func (d *Dispatcher) Corpus() CorpusResponse {
+	return CorpusResponse{Version: ProtocolVersion, Spec: d.camp.Spec, Tests: d.corpus}
+}
+
+// Finished is closed when every job has completed or permanently failed
+// (or the run was cancelled).
+func (d *Dispatcher) Finished() <-chan struct{} { return d.finishCh }
+
+// Outcome returns the merged results, the first checkpoint error if
+// any, and whether the run was cancelled. Valid once Finished is
+// closed; before that it reports the partial state.
+func (d *Dispatcher) Outcome() (*Results, error, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.results, d.checkpointErr, d.cancelled
+}
+
+// Cancel stops granting leases and finishes the run with its partial
+// totals. In-flight workers learn on their next protocol call.
+func (d *Dispatcher) Cancel() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.finished {
+		return
+	}
+	d.cancelled = true
+	d.finish()
+}
+
+// finish closes the run. Caller holds d.mu (or is the constructor).
+func (d *Dispatcher) finish() {
+	if d.finished {
+		return
+	}
+	d.finished = true
+	if d.opts.CheckpointPath != "" && d.sinceSave > 0 && d.checkpointErr == nil {
+		d.checkpointErr = SaveCheckpoint(d.opts.CheckpointPath, d.camp.Spec, d.done)
+	}
+	close(d.finishCh)
+}
+
+// sweepLocked requeues expired leases and records exhausted budgets.
+// Caller holds d.mu.
+func (d *Dispatcher) sweepLocked() {
+	requeued, failed := d.q.sweep()
+	for range requeued {
+		d.metrics.LeaseRequeues.Add(1)
+		d.metrics.Retries.Add(1)
+		d.metrics.QueueDepth.Add(1)
+		d.metrics.InFlight.Add(-1)
+	}
+	for _, e := range failed {
+		d.metrics.LeaseRequeues.Add(1)
+		d.metrics.InFlight.Add(-1)
+		d.recordFailureLocked(e)
+	}
+	d.maybeFinishLocked()
+}
+
+// recordFailureLocked converts an exhausted queue entry into a
+// JobFailure on the totals. Caller holds d.mu.
+func (d *Dispatcher) recordFailureLocked(e *queueEntry) {
+	d.metrics.JobsFailed.Add(1)
+	d.results.AddFailure(JobFailure{
+		JobID:    e.job.ID,
+		Test:     e.job.Test,
+		Tool:     e.job.Tool,
+		Preset:   e.job.Preset,
+		Shard:    e.job.Shard,
+		Attempts: e.attempts,
+		Err:      e.failErr,
+	})
+}
+
+// maybeFinishLocked finishes the run once the ledger is fully done.
+// Caller holds d.mu.
+func (d *Dispatcher) maybeFinishLocked() {
+	if !d.finished && d.q.allDone() {
+		d.finish()
+	}
+}
+
+// Lease grants up to req.Max jobs (expiring overdue leases first).
+func (d *Dispatcher) Lease(req LeaseRequest) LeaseResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	resp := LeaseResponse{Version: ProtocolVersion, TTLSec: d.ttl.Seconds()}
+	if d.finished {
+		resp.Done = true
+		return resp
+	}
+	d.sweepLocked()
+	if d.finished {
+		resp.Done = true
+		return resp
+	}
+	granted := d.q.lease(req.Worker, req.Max)
+	if len(granted) == 0 {
+		// Everything left is leased to other workers: poll again soon —
+		// an expiry may free work, or the campaign may finish. Capped at a
+		// second so an idle worker learns about completion promptly rather
+		// than sleeping out a TTL fraction.
+		resp.WaitSec = min(d.ttl.Seconds()/4, 1.0)
+		return resp
+	}
+	for _, e := range granted {
+		resp.Grants = append(resp.Grants, LeaseGrant{Job: e.job, LeaseID: e.leaseID})
+		d.metrics.LeasesGranted.Add(1)
+		d.metrics.QueueDepth.Add(-1)
+		d.metrics.InFlight.Add(1)
+	}
+	return resp
+}
+
+// Heartbeat extends the caller's live leases.
+func (d *Dispatcher) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	resp := HeartbeatResponse{TTLSec: d.ttl.Seconds()}
+	if d.finished {
+		return resp
+	}
+	d.sweepLocked()
+	for _, ref := range req.Leases {
+		if d.q.heartbeat(req.Worker, ref) {
+			resp.Extended++
+			d.metrics.Heartbeats.Add(1)
+		}
+	}
+	return resp
+}
+
+// Complete merges a worker's uploaded batch: results behind the
+// completion fence, failures against retry budgets, releases back to
+// the queue. payloadBytes is the compressed upload size, for the
+// upload-bytes counter.
+func (d *Dispatcher) Complete(req CompleteRequest, payloadBytes int) CompleteResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.metrics.UploadBytes.Add(int64(payloadBytes))
+	var resp CompleteResponse
+	for _, wr := range req.Results {
+		if wr.Result == nil || !d.resultMatchesJob(wr.Result) {
+			resp.Invalid++
+			continue
+		}
+		if _, dup := d.done[wr.Result.JobID]; dup {
+			// Also covers jobs restored from a checkpoint, which a rebuilt
+			// lease queue no longer tracks: the upload is a duplicate from a
+			// pre-restart lease holder, not an error.
+			d.metrics.ResultsFenced.Add(1)
+			resp.Fenced++
+			continue
+		}
+		wasLeased := d.leasedLocked(wr.Result.JobID)
+		accepted, fenced := d.q.complete(LeaseRef{JobID: wr.Result.JobID, LeaseID: wr.LeaseID})
+		switch {
+		case accepted:
+			d.mergeLocked(wr.Result, wasLeased)
+			resp.Merged++
+		case fenced:
+			d.metrics.ResultsFenced.Add(1)
+			resp.Fenced++
+		default:
+			resp.Invalid++
+		}
+	}
+	for _, wf := range req.Failures {
+		requeued, failed := d.q.fail(req.Worker, LeaseRef{JobID: wf.JobID, LeaseID: wf.LeaseID}, wf.Err)
+		switch {
+		case requeued:
+			d.metrics.Retries.Add(1)
+			d.metrics.LeaseRequeues.Add(1)
+			d.metrics.QueueDepth.Add(1)
+			d.metrics.InFlight.Add(-1)
+			resp.Requeued++
+		case failed:
+			d.metrics.InFlight.Add(-1)
+			if e, ok := d.q.entries[wf.JobID]; ok {
+				d.recordFailureLocked(e)
+			}
+			resp.Failed++
+		}
+	}
+	for _, ref := range req.Released {
+		if d.q.release(req.Worker, ref) {
+			d.metrics.QueueDepth.Add(1)
+			d.metrics.InFlight.Add(-1)
+			resp.Requeued++
+		}
+	}
+	d.flushCheckpointLocked()
+	d.maybeFinishLocked()
+	resp.Done = d.finished
+	return resp
+}
+
+// leasedLocked reports whether the job is currently in the leased
+// state (for in-flight accounting). Caller holds d.mu.
+func (d *Dispatcher) leasedLocked(jobID int) bool {
+	e, ok := d.q.entries[jobID]
+	return ok && e.state == stateLeased
+}
+
+// resultMatchesJob cross-checks an uploaded result against the job's
+// identity, exactly like checkpoint restoration does: a result whose
+// fields contradict the job expansion would corrupt the totals.
+func (d *Dispatcher) resultMatchesJob(jr *JobResult) bool {
+	if jr.JobID < 0 || jr.JobID >= len(d.camp.jobs) {
+		return false
+	}
+	job := d.camp.jobs[jr.JobID]
+	return job.Test == jr.Test && job.Tool == jr.Tool && job.Preset == jr.Preset &&
+		job.Shard == jr.Shard && job.N == jr.N && job.Seed == jr.Seed
+}
+
+// mergeLocked folds one accepted result into the totals and the
+// checkpoint batch. Caller holds d.mu.
+func (d *Dispatcher) mergeLocked(jr *JobResult, wasLeased bool) {
+	d.results.Add(jr)
+	d.done[jr.JobID] = jr
+	d.sinceSave++
+	d.metrics.JobsCompleted.Add(1)
+	d.metrics.Iterations.Add(int64(jr.N))
+	if wasLeased {
+		d.metrics.InFlight.Add(-1)
+	} else {
+		// The job had already requeued (expired lease) when its original
+		// holder reported: it leaves the pending set instead.
+		d.metrics.QueueDepth.Add(-1)
+	}
+	if d.opts.OnJobDone != nil {
+		d.opts.OnJobDone(jr)
+	}
+}
+
+// flushCheckpointLocked writes the snapshot when the batch threshold is
+// reached. The first write error sticks and surfaces in Outcome; later
+// merges still land in memory. Caller holds d.mu.
+func (d *Dispatcher) flushCheckpointLocked() {
+	if d.opts.CheckpointPath == "" || d.sinceSave < d.every || d.checkpointErr != nil {
+		return
+	}
+	if err := SaveCheckpoint(d.opts.CheckpointPath, d.camp.Spec, d.done); err != nil {
+		d.checkpointErr = err
+		return
+	}
+	d.sinceSave = 0
+}
+
+// Status summarizes the ledger for the status endpoint. Done counts
+// merged results (checkpoint-restored ones included — they never enter
+// the lease queue) plus permanently failed jobs.
+func (d *Dispatcher) Status() (pending, leased, done, failed int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pending, leased, _, failed = d.q.counts()
+	done = len(d.done) + failed
+	return pending, leased, done, failed
+}
+
+// String identifies the dispatcher in logs.
+func (d *Dispatcher) String() string {
+	return fmt.Sprintf("dispatcher(%d jobs, ttl %s)", len(d.camp.jobs), d.ttl)
+}

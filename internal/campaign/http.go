@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,8 +10,11 @@ import (
 	"net/http"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"perple/internal/harness"
 )
 
 // run states reported by the status endpoint.
@@ -22,13 +26,16 @@ const (
 )
 
 // serverRun is one submitted campaign: the scheduler invocation plus the
-// bookkeeping the HTTP surface reports.
+// bookkeeping the HTTP surface reports. Local runs execute on the
+// in-process worker pool; dispatch runs hold a Dispatcher serving the
+// lease endpoints instead.
 type serverRun struct {
-	id      string
-	spec    Spec
-	cancel  context.CancelFunc
-	metrics *Metrics
-	started time.Time
+	id         string
+	spec       Spec
+	cancel     context.CancelFunc
+	metrics    *Metrics
+	started    time.Time
+	dispatcher *Dispatcher // nil for local runs
 
 	mu       sync.Mutex
 	state    string
@@ -64,6 +71,10 @@ type Server struct {
 	// checkpoint file (<id>.json) under it.
 	CheckpointDir string
 
+	// LeaseTTL is the dispatch-mode lease duration; 0 selects
+	// DefaultLeaseTTL.
+	LeaseTTL time.Duration
+
 	mu   sync.Mutex
 	runs map[string]*serverRun
 	seq  int
@@ -78,13 +89,22 @@ func NewServer() *Server {
 
 // Handler builds the route table:
 //
-//	GET  /healthz                  liveness
-//	GET  /metrics                  aggregate scheduler gauges (expvar-style JSON)
-//	POST /campaigns                submit a spec, returns {"id": ...}
-//	GET  /campaigns                list campaigns
-//	GET  /campaigns/{id}           status + per-run metrics snapshot
-//	GET  /campaigns/{id}/results   merged totals (409 until the run finishes)
-//	POST /campaigns/{id}/cancel    abort a running campaign
+//	GET  /healthz                    liveness
+//	GET  /metrics                    aggregate scheduler gauges (JSON, or
+//	                                 Prometheus text when Accept asks for it)
+//	POST /campaigns                  submit a spec, returns {"id": ...};
+//	                                 ?mode=dispatch serves the jobs to
+//	                                 workers instead of running them locally
+//	GET  /campaigns                  list campaigns
+//	GET  /campaigns/{id}             status + per-run metrics snapshot
+//	GET  /campaigns/{id}/results     merged totals (409 until the run
+//	                                 finishes); ?format=canonical returns
+//	                                 the canonical result JSON document
+//	POST /campaigns/{id}/cancel      abort a running campaign
+//	GET  /campaigns/{id}/corpus      dispatch: spec + test sources
+//	POST /campaigns/{id}/lease       dispatch: pull jobs
+//	POST /campaigns/{id}/heartbeat   dispatch: extend leases
+//	POST /campaigns/{id}/complete    dispatch: upload results (gzip JSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -94,6 +114,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /campaigns/{id}/corpus", s.handleCorpus)
+	mux.HandleFunc("POST /campaigns/{id}/lease", s.handleLease)
+	mux.HandleFunc("POST /campaigns/{id}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /campaigns/{id}/complete", s.handleComplete)
 	return mux
 }
 
@@ -125,7 +149,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
 	runs := make([]*serverRun, 0, len(s.runs))
 	for _, r := range s.runs {
@@ -143,12 +167,62 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		r.mu.Unlock()
 	}
+	if wantsPrometheus(req) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, len(runs), running, time.Since(s.started).Seconds(), agg)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"campaigns":         len(runs),
 		"campaigns_running": running,
 		"uptime_sec":        time.Since(s.started).Seconds(),
 		"scheduler":         agg,
 	})
+}
+
+// wantsPrometheus content-negotiates /metrics: a JSON Accept keeps the
+// expvar-style document, a text/plain or OpenMetrics Accept (what
+// Prometheus scrapers send) selects the text exposition format. The
+// default stays JSON for backward compatibility.
+func wantsPrometheus(req *http.Request) bool {
+	accept := req.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// writePrometheus renders the aggregate snapshot in Prometheus text
+// exposition format, one family per scheduler gauge plus the dispatch
+// counters (leases, requeues, heartbeats, fence drops, upload bytes).
+func writePrometheus(w io.Writer, campaigns, running int, uptimeSec float64, agg Snapshot) {
+	type metric struct {
+		name, typ, help string
+		value           float64
+	}
+	metrics := []metric{
+		{"perple_campaigns", "gauge", "Campaigns known to this server.", float64(campaigns)},
+		{"perple_campaigns_running", "gauge", "Campaigns currently running.", float64(running)},
+		{"perple_uptime_seconds", "gauge", "Server uptime.", uptimeSec},
+		{"perple_jobs", "gauge", "Total jobs across campaigns, restored included.", float64(agg.JobsTotal)},
+		{"perple_jobs_completed_total", "counter", "Jobs merged into totals.", float64(agg.JobsCompleted)},
+		{"perple_jobs_restored_total", "counter", "Jobs restored from checkpoints.", float64(agg.JobsRestored)},
+		{"perple_jobs_failed_total", "counter", "Jobs whose retry budget ran out.", float64(agg.JobsFailed)},
+		{"perple_retries_total", "counter", "Failed attempts re-queued.", float64(agg.Retries)},
+		{"perple_queue_depth", "gauge", "Jobs waiting for a worker or lease.", float64(agg.QueueDepth)},
+		{"perple_jobs_in_flight", "gauge", "Jobs executing or leased.", float64(agg.InFlight)},
+		{"perple_iterations_total", "counter", "Simulated test iterations completed.", float64(agg.Iterations)},
+		{"perple_leases_granted_total", "counter", "Jobs handed to fleet workers.", float64(agg.LeasesGranted)},
+		{"perple_lease_requeues_total", "counter", "Leases expired or failed and requeued.", float64(agg.LeaseRequeues)},
+		{"perple_heartbeats_total", "counter", "Lease extensions from worker heartbeats.", float64(agg.Heartbeats)},
+		{"perple_results_fenced_total", "counter", "Duplicate completions dropped by the fence.", float64(agg.ResultsFenced)},
+		{"perple_upload_bytes_total", "counter", "Compressed result payload bytes received.", float64(agg.UploadBytes)},
+		{"perple_allocs_total", "counter", "Heap allocations since metrics start (process-wide).", float64(agg.Allocs)},
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
@@ -167,36 +241,138 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	mode := req.URL.Query().Get("mode")
+	if mode != "" && mode != "local" && mode != "dispatch" {
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want local or dispatch)", mode)
+		return
+	}
 
 	s.mu.Lock()
 	s.seq++
 	id := fmt.Sprintf("c%04d", s.seq)
-	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Unlock()
+
 	run := &serverRun{
 		id:      id,
 		spec:    camp.Spec,
-		cancel:  cancel,
 		metrics: &Metrics{},
 		started: time.Now(),
 		state:   StateRunning,
 	}
-	s.runs[id] = run
-	s.mu.Unlock()
-
 	opts := Options{Metrics: run.metrics}
 	if s.CheckpointDir != "" {
 		opts.CheckpointPath = filepath.Join(s.CheckpointDir, id+".json")
 	}
-	go func() {
-		defer cancel()
-		res, err := camp.Run(ctx, opts)
-		run.setFinished(res, err, errors.Is(err, context.Canceled))
-	}()
 
-	writeJSON(w, http.StatusAccepted, map[string]any{
-		"id":   id,
-		"jobs": len(camp.jobs),
-	})
+	if mode == "dispatch" {
+		disp, err := NewDispatcher(camp, s.LeaseTTL, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		run.dispatcher = disp
+		run.cancel = disp.Cancel
+		go func() {
+			<-disp.Finished()
+			res, err, cancelled := disp.Outcome()
+			run.setFinished(res, err, cancelled)
+		}()
+	} else {
+		ctx, cancel := context.WithCancel(context.Background())
+		run.cancel = cancel
+		go func() {
+			defer cancel()
+			res, err := camp.Run(ctx, opts)
+			run.setFinished(res, err, errors.Is(err, context.Canceled))
+		}()
+	}
+
+	s.mu.Lock()
+	s.runs[id] = run
+	s.mu.Unlock()
+
+	resp := map[string]any{"id": id, "jobs": len(camp.jobs)}
+	if mode == "dispatch" {
+		resp["mode"] = "dispatch"
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// lookupDispatcher resolves a dispatch-mode campaign or writes the
+// appropriate error.
+func (s *Server) lookupDispatcher(w http.ResponseWriter, req *http.Request) *Dispatcher {
+	run, ok := s.lookup(req)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", req.PathValue("id"))
+		return nil
+	}
+	if run.dispatcher == nil {
+		writeError(w, http.StatusConflict, "campaign %s is not in dispatch mode", run.id)
+		return nil
+	}
+	return run.dispatcher
+}
+
+func (s *Server) handleCorpus(w http.ResponseWriter, req *http.Request) {
+	disp := s.lookupDispatcher(w, req)
+	if disp == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, disp.Corpus())
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, req *http.Request) {
+	disp := s.lookupDispatcher(w, req)
+	if disp == nil {
+		return
+	}
+	var lr LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20)).Decode(&lr); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding lease request: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, disp.Lease(lr))
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	disp := s.lookupDispatcher(w, req)
+	if disp == nil {
+		return
+	}
+	var hr HeartbeatRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20)).Decode(&hr); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding heartbeat: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, disp.Heartbeat(hr))
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, req *http.Request) {
+	disp := s.lookupDispatcher(w, req)
+	if disp == nil {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading upload: %v", err)
+		return
+	}
+	var cr CompleteRequest
+	if req.Header.Get("Content-Type") == harness.WireContentType ||
+		req.Header.Get("Content-Encoding") == "gzip" {
+		err = harness.DecodeWire(bytes.NewReader(body), &cr)
+	} else {
+		err = json.Unmarshal(body, &cr)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding upload: %v", err)
+		return
+	}
+	if cr.Version != 0 && cr.Version != ProtocolVersion {
+		writeError(w, http.StatusBadRequest, "protocol version %d, want %d", cr.Version, ProtocolVersion)
+		return
+	}
+	writeJSON(w, http.StatusOK, disp.Complete(cr, len(body)))
 }
 
 func (s *Server) lookup(req *http.Request) (*serverRun, bool) {
@@ -208,13 +384,23 @@ func (s *Server) lookup(req *http.Request) (*serverRun, bool) {
 
 // runStatus is the status endpoint's JSON shape.
 type runStatus struct {
-	ID       string   `json:"id"`
-	Name     string   `json:"name,omitempty"`
-	State    string   `json:"state"`
-	Error    string   `json:"error,omitempty"`
-	Started  string   `json:"started"`
-	Finished string   `json:"finished,omitempty"`
-	Metrics  Snapshot `json:"metrics"`
+	ID       string          `json:"id"`
+	Name     string          `json:"name,omitempty"`
+	State    string          `json:"state"`
+	Error    string          `json:"error,omitempty"`
+	Started  string          `json:"started"`
+	Finished string          `json:"finished,omitempty"`
+	Metrics  Snapshot        `json:"metrics"`
+	Dispatch *dispatchStatus `json:"dispatch,omitempty"`
+}
+
+// dispatchStatus is the lease ledger's aggregate state for dispatch-mode
+// runs.
+type dispatchStatus struct {
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
 }
 
 func (r *serverRun) status() runStatus {
@@ -230,6 +416,11 @@ func (r *serverRun) status() runStatus {
 	}
 	if !r.finished.IsZero() {
 		st.Finished = r.finished.UTC().Format(time.RFC3339)
+	}
+	if r.dispatcher != nil {
+		var ds dispatchStatus
+		ds.Pending, ds.Leased, ds.Done, ds.Failed = r.dispatcher.Status()
+		st.Dispatch = &ds
 	}
 	return st
 }
@@ -269,6 +460,16 @@ func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) {
 	run.mu.Unlock()
 	if state == StateRunning || res == nil {
 		writeError(w, http.StatusConflict, "campaign %s is still %s", run.id, state)
+		return
+	}
+	if req.URL.Query().Get("format") == "canonical" {
+		data, err := res.CanonicalJSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
 		return
 	}
 	target, ticks, n := res.Totals()

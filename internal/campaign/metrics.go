@@ -31,6 +31,23 @@ type Metrics struct {
 	// Iterations counts simulated test iterations completed this run.
 	Iterations atomic.Int64
 
+	// Dispatch-layer counters (lease-based worker fleet). Zero for local
+	// runs.
+
+	// LeasesGranted counts jobs handed to workers (re-leases included).
+	LeasesGranted atomic.Int64
+	// LeaseRequeues counts leases that expired or failed and went back to
+	// the queue.
+	LeaseRequeues atomic.Int64
+	// Heartbeats counts lease extensions from worker heartbeats.
+	Heartbeats atomic.Int64
+	// ResultsFenced counts duplicate completions dropped by the
+	// completion fence (a slow worker and its requeued replacement both
+	// reported).
+	ResultsFenced atomic.Int64
+	// UploadBytes counts compressed result-payload bytes received.
+	UploadBytes atomic.Int64
+
 	startOnce    sync.Once
 	startNano    atomic.Int64
 	startMallocs atomic.Uint64
@@ -57,6 +74,11 @@ type Snapshot struct {
 	QueueDepth       int64   `json:"queue_depth"`
 	InFlight         int64   `json:"in_flight"`
 	Iterations       int64   `json:"iterations"`
+	LeasesGranted    int64   `json:"leases_granted"`
+	LeaseRequeues    int64   `json:"lease_requeues"`
+	Heartbeats       int64   `json:"heartbeats"`
+	ResultsFenced    int64   `json:"results_fenced"`
+	UploadBytes      int64   `json:"upload_bytes"`
 	ElapsedSec       float64 `json:"elapsed_sec"`
 	IterationsPerSec float64 `json:"iterations_per_sec"`
 	// Allocs is the process-wide heap-allocation count since Start (a
@@ -80,6 +102,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		QueueDepth:    m.QueueDepth.Load(),
 		InFlight:      m.InFlight.Load(),
 		Iterations:    m.Iterations.Load(),
+		LeasesGranted: m.LeasesGranted.Load(),
+		LeaseRequeues: m.LeaseRequeues.Load(),
+		Heartbeats:    m.Heartbeats.Load(),
+		ResultsFenced: m.ResultsFenced.Load(),
+		UploadBytes:   m.UploadBytes.Load(),
 	}
 	if start := m.startNano.Load(); start > 0 {
 		s.ElapsedSec = time.Since(time.Unix(0, start)).Seconds()
@@ -107,6 +134,11 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.QueueDepth += o.QueueDepth
 	s.InFlight += o.InFlight
 	s.Iterations += o.Iterations
+	s.LeasesGranted += o.LeasesGranted
+	s.LeaseRequeues += o.LeaseRequeues
+	s.Heartbeats += o.Heartbeats
+	s.ResultsFenced += o.ResultsFenced
+	s.UploadBytes += o.UploadBytes
 	s.IterationsPerSec += o.IterationsPerSec
 	if o.ElapsedSec > s.ElapsedSec {
 		s.ElapsedSec = o.ElapsedSec

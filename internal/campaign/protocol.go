@@ -1,0 +1,122 @@
+package campaign
+
+// Dispatch protocol (v1): the wire types spoken between perple-serve's
+// dispatch endpoints and perple-worker. All bodies are JSON; the
+// completion upload is gzip-compressed JSON (harness.EncodeWire) because
+// it carries full per-shard histograms.
+//
+//	GET  /campaigns/{id}/corpus     → CorpusResponse   (spec + test sources)
+//	POST /campaigns/{id}/lease      LeaseRequest → LeaseResponse
+//	POST /campaigns/{id}/heartbeat  HeartbeatRequest → HeartbeatResponse
+//	POST /campaigns/{id}/complete   CompleteRequest (gzip) → CompleteResponse
+//
+// The protocol is at-least-once by construction: a worker that crashes
+// mid-lease simply stops heartbeating and its jobs re-lease after the
+// TTL; a worker that uploads twice (retry after a lost response) is
+// deduplicated by the server's completion fence. Workers never need
+// server-side identity beyond a self-chosen name used for lease
+// accounting.
+
+// ProtocolVersion guards wire compatibility; both sides refuse to talk
+// across a mismatch.
+const ProtocolVersion = 1
+
+// CorpusTest ships one litmus test to workers as parseable source, so a
+// worker needs no filesystem access to the campaign's test directory.
+type CorpusTest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// CorpusResponse hands a worker everything it needs to execute jobs:
+// the validated spec (for result-affecting knobs like intra_workers and
+// exh_cap) and the resolved corpus.
+type CorpusResponse struct {
+	Version int          `json:"version"`
+	Spec    Spec         `json:"spec"`
+	Tests   []CorpusTest `json:"tests"`
+}
+
+// LeaseRequest asks for up to Max jobs.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// LeaseGrant is one leased job plus the nonce the worker must echo in
+// heartbeats and completions.
+type LeaseGrant struct {
+	Job     Job   `json:"job"`
+	LeaseID int64 `json:"lease_id"`
+}
+
+// LeaseResponse returns the granted jobs. Done means the campaign has
+// finished (or was cancelled) and the worker should exit; an empty grant
+// list with WaitSec set means every remaining job is leased elsewhere —
+// poll again after the hint (one may requeue).
+type LeaseResponse struct {
+	Version int          `json:"version"`
+	Grants  []LeaseGrant `json:"grants,omitempty"`
+	TTLSec  float64      `json:"ttl_sec"`
+	Done    bool         `json:"done,omitempty"`
+	WaitSec float64      `json:"wait_sec,omitempty"`
+}
+
+// LeaseRef names one held lease.
+type LeaseRef struct {
+	JobID   int   `json:"job_id"`
+	LeaseID int64 `json:"lease_id"`
+}
+
+// HeartbeatRequest extends the caller's live leases.
+type HeartbeatRequest struct {
+	Worker string     `json:"worker"`
+	Leases []LeaseRef `json:"leases"`
+}
+
+// HeartbeatResponse reports how many leases were extended; a lease the
+// server no longer recognizes (expired and re-granted) is simply not
+// counted, which is how a slow worker learns it lost work.
+type HeartbeatResponse struct {
+	Extended int     `json:"extended"`
+	TTLSec   float64 `json:"ttl_sec"`
+}
+
+// WorkerResult is one completed shard: the result plus the lease nonce
+// it was executed under.
+type WorkerResult struct {
+	LeaseID int64      `json:"lease_id"`
+	Result  *JobResult `json:"result"`
+}
+
+// WorkerFailure reports a job whose execution failed on the worker; the
+// server charges it against the job's retry budget and requeues it.
+type WorkerFailure struct {
+	LeaseID int64  `json:"lease_id"`
+	JobID   int    `json:"job_id"`
+	Err     string `json:"error"`
+}
+
+// CompleteRequest is the batched upload: completed results, execution
+// failures, and leases handed back un-run (graceful drain). The body is
+// gzip-compressed JSON.
+type CompleteRequest struct {
+	Version  int             `json:"version"`
+	Worker   string          `json:"worker"`
+	Results  []WorkerResult  `json:"results,omitempty"`
+	Failures []WorkerFailure `json:"failures,omitempty"`
+	Released []LeaseRef      `json:"released,omitempty"`
+}
+
+// CompleteResponse accounts for every uploaded item: merged into the
+// totals, dropped by the completion fence, rejected as invalid (result
+// fields contradict the job's identity), requeued, or permanently
+// failed. Done tells the worker the campaign has finished.
+type CompleteResponse struct {
+	Merged   int  `json:"merged"`
+	Fenced   int  `json:"fenced"`
+	Invalid  int  `json:"invalid"`
+	Requeued int  `json:"requeued"`
+	Failed   int  `json:"failed"`
+	Done     bool `json:"done,omitempty"`
+}

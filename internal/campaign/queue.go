@@ -1,0 +1,231 @@
+package campaign
+
+import (
+	"sort"
+	"time"
+)
+
+// Lease state machine, per job:
+//
+//	pending ──lease──▶ leased ──complete──▶ done
+//	   ▲                  │
+//	   └──expire/fail─────┘   (attempts++; attempts > MaxRetries ▶ done, failed)
+//
+// A lease carries a nonce (leaseID) that increases with every grant, so
+// a late report from a superseded lease is distinguishable from the
+// current holder's. Completion applies a first-writer-wins fence on the
+// job, not the lease: shard results are deterministic functions of the
+// shard seed, so whichever copy of a twice-leased job reports first is
+// merged and every later report is dropped — never double-merged.
+type leaseState int
+
+const (
+	statePending leaseState = iota
+	stateLeased
+	stateDone
+)
+
+// queueEntry is one job's ledger row.
+type queueEntry struct {
+	job      Job
+	state    leaseState
+	leaseID  int64  // nonce of the newest grant
+	worker   string // holder of the newest grant
+	expires  time.Time
+	attempts int  // expired or failed attempts consumed from the retry budget
+	failed   bool // done because the budget ran out, not because a result landed
+	failErr  string
+}
+
+// leaseQueue is the dispatcher's job ledger. It is not safe for
+// concurrent use; the Dispatcher serializes access under its mutex.
+// Grants and requeues are deterministic: pending jobs are kept sorted by
+// job ID and granted lowest-ID first, and a requeued job re-enters at
+// its ID's sorted position, so a fixed sequence of lease/expire events
+// always hands out the same jobs in the same order.
+type leaseQueue struct {
+	entries    map[int]*queueEntry
+	ids        []int // all job IDs, sorted, for deterministic sweeps
+	pending    []int // pending job IDs, sorted ascending
+	ttl        time.Duration
+	maxRetries int
+	nextLease  int64
+	now        func() time.Time
+}
+
+func newLeaseQueue(jobs []Job, ttl time.Duration, maxRetries int, now func() time.Time) *leaseQueue {
+	q := &leaseQueue{
+		entries:    make(map[int]*queueEntry, len(jobs)),
+		ttl:        ttl,
+		maxRetries: maxRetries,
+		now:        now,
+	}
+	for _, job := range jobs {
+		q.entries[job.ID] = &queueEntry{job: job}
+		q.ids = append(q.ids, job.ID)
+		q.pending = append(q.pending, job.ID)
+	}
+	sort.Ints(q.ids)
+	sort.Ints(q.pending)
+	return q
+}
+
+// requeue returns a job to the pending set at its sorted position.
+func (q *leaseQueue) requeue(id int) {
+	i := sort.SearchInts(q.pending, id)
+	q.pending = append(q.pending, 0)
+	copy(q.pending[i+1:], q.pending[i:])
+	q.pending[i] = id
+}
+
+// sweep expires overdue leases: each goes back to pending with one
+// attempt consumed, or to done/failed when the budget is exhausted.
+// Entries are visited in job-ID order so the outcome of a sweep is
+// deterministic. It returns the requeued and newly failed entries.
+func (q *leaseQueue) sweep() (requeued []*queueEntry, failed []*queueEntry) {
+	now := q.now()
+	for _, id := range q.ids {
+		e := q.entries[id]
+		if e.state != stateLeased || e.expires.After(now) {
+			continue
+		}
+		e.attempts++
+		if e.attempts > q.maxRetries {
+			e.state = stateDone
+			e.failed = true
+			if e.failErr == "" {
+				e.failErr = "lease expired"
+			}
+			failed = append(failed, e)
+			continue
+		}
+		e.state = statePending
+		q.requeue(id)
+		requeued = append(requeued, e)
+	}
+	return requeued, failed
+}
+
+// lease grants up to max pending jobs to worker, lowest job ID first,
+// stamping each with a fresh lease nonce and the queue's TTL.
+func (q *leaseQueue) lease(worker string, max int) []*queueEntry {
+	if max <= 0 {
+		max = 1
+	}
+	n := min(max, len(q.pending))
+	if n == 0 {
+		return nil
+	}
+	expires := q.now().Add(q.ttl)
+	granted := make([]*queueEntry, 0, n)
+	for _, id := range q.pending[:n] {
+		e := q.entries[id]
+		q.nextLease++
+		e.state = stateLeased
+		e.leaseID = q.nextLease
+		e.worker = worker
+		e.expires = expires
+		granted = append(granted, e)
+	}
+	q.pending = q.pending[n:]
+	return granted
+}
+
+// heartbeat extends a lease iff the caller still holds its current
+// nonce; a heartbeat for a superseded or finished lease is a no-op.
+func (q *leaseQueue) heartbeat(worker string, ref LeaseRef) bool {
+	e, ok := q.entries[ref.JobID]
+	if !ok || e.state != stateLeased || e.leaseID != ref.LeaseID || e.worker != worker {
+		return false
+	}
+	e.expires = q.now().Add(q.ttl)
+	return true
+}
+
+// complete marks a job done on its first reported result. The fence is
+// the done state: a second report — from the original holder of an
+// expired lease or from its replacement, whichever comes later — returns
+// fenced. Stale-lease results for a not-yet-done job are accepted:
+// results are deterministic per shard seed, so the early copy is
+// byte-equal to the one the current holder would upload.
+func (q *leaseQueue) complete(ref LeaseRef) (accepted, fenced bool) {
+	e, ok := q.entries[ref.JobID]
+	if !ok {
+		return false, false
+	}
+	if e.state == stateDone {
+		return false, true
+	}
+	if e.state == statePending {
+		// A requeued job completed by its pre-expiry holder: pull it back
+		// out of the pending set.
+		i := sort.SearchInts(q.pending, ref.JobID)
+		if i < len(q.pending) && q.pending[i] == ref.JobID {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+		}
+	}
+	e.state = stateDone
+	e.failed = false
+	return true, false
+}
+
+// fail records a worker-reported execution failure against the retry
+// budget: requeue while budget remains, else done/failed. Reports
+// against a superseded lease are ignored (the replacement is already
+// running or queued).
+func (q *leaseQueue) fail(worker string, ref LeaseRef, msg string) (requeuedNow, failedNow bool) {
+	e, ok := q.entries[ref.JobID]
+	if !ok || e.state != stateLeased || e.leaseID != ref.LeaseID || e.worker != worker {
+		return false, false
+	}
+	e.attempts++
+	e.failErr = msg
+	if e.attempts > q.maxRetries {
+		e.state = stateDone
+		e.failed = true
+		return false, true
+	}
+	e.state = statePending
+	q.requeue(ref.JobID)
+	return true, false
+}
+
+// release hands an unstarted lease back without consuming retry budget
+// (graceful worker drain). Superseded leases are ignored.
+func (q *leaseQueue) release(worker string, ref LeaseRef) bool {
+	e, ok := q.entries[ref.JobID]
+	if !ok || e.state != stateLeased || e.leaseID != ref.LeaseID || e.worker != worker {
+		return false
+	}
+	e.state = statePending
+	q.requeue(ref.JobID)
+	return true
+}
+
+// counts reports the ledger's aggregate state.
+func (q *leaseQueue) counts() (pending, leased, done, failed int) {
+	for _, e := range q.entries {
+		switch e.state {
+		case statePending:
+			pending++
+		case stateLeased:
+			leased++
+		case stateDone:
+			done++
+			if e.failed {
+				failed++
+			}
+		}
+	}
+	return pending, leased, done, failed
+}
+
+// allDone reports whether every job reached the done state.
+func (q *leaseQueue) allDone() bool {
+	for _, e := range q.entries {
+		if e.state != stateDone {
+			return false
+		}
+	}
+	return true
+}

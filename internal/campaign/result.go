@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -67,6 +68,13 @@ type GroupResult struct {
 
 func groupKey(test, tool, preset string) string {
 	return test + "\x1f" + tool + "\x1f" + preset
+}
+
+// GroupKey is the Groups map key for one (test, tool, preset)
+// combination, for callers reassembling a Results from its canonical
+// JSON document.
+func GroupKey(test, tool, preset string) string {
+	return groupKey(test, tool, preset)
 }
 
 // Results accumulates job results into campaign totals. Accumulation is
@@ -177,6 +185,34 @@ func (r *Results) sortedGroups() []*GroupResult {
 		return a.Preset < b.Preset
 	})
 	return groups
+}
+
+// CanonicalJSON renders the accumulated totals in a canonical byte form:
+// groups in sorted (test, tool, preset) order, histogram keys sorted
+// (encoding/json sorts map keys), failures sorted by job ID, fixed
+// indentation, trailing newline. Like Render, it is a pure function of
+// the merged totals, so any two runs that merged the same shards — a
+// serial run, a k-worker fleet, a kill/resume split — produce
+// byte-identical documents. This is the determinism contract the
+// distributed dispatch layer is tested against.
+func (r *Results) CanonicalJSON() ([]byte, error) {
+	target, ticks, n := r.Totals()
+	fails := append([]JobFailure(nil), r.Failures...)
+	sort.Slice(fails, func(i, j int) bool { return fails[i].JobID < fails[j].JobID })
+	doc := struct {
+		Totals   map[string]int64 `json:"totals"`
+		Groups   []*GroupResult   `json:"groups"`
+		Failures []JobFailure     `json:"failures,omitempty"`
+	}{
+		Totals:   map[string]int64{"iterations": n, "target": target, "ticks": ticks},
+		Groups:   r.sortedGroups(),
+		Failures: fails,
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encoding results: %w", err)
+	}
+	return append(data, '\n'), nil
 }
 
 // Render produces the canonical plain-text report: a per-group table in

@@ -1,0 +1,405 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perple/internal/harness"
+	"perple/internal/litmus"
+)
+
+// WorkerOptions configures one fleet worker.
+type WorkerOptions struct {
+	// BaseURL is the perple-serve root, e.g. "http://host:8077".
+	BaseURL string
+	// Campaign is the dispatch-mode campaign id to work on.
+	Campaign string
+	// Name identifies this worker in lease accounting; default
+	// "<hostname>-<pid>".
+	Name string
+	// Parallel is the number of jobs executed concurrently; 0 selects
+	// GOMAXPROCS.
+	Parallel int
+	// LeaseBatch is the number of jobs pulled per lease call; 0 selects
+	// Parallel (keep every executor busy with one round trip).
+	LeaseBatch int
+	// Client is the HTTP client; nil selects a fresh one with sane
+	// timeouts.
+	Client *http.Client
+	// HeartbeatEvery overrides the heartbeat period; 0 selects a third of
+	// the server's lease TTL.
+	HeartbeatEvery time.Duration
+	// MaxAttempts bounds retries per HTTP call (network errors and 5xx);
+	// 0 selects 5.
+	MaxAttempts int
+	// BackoffBase is the first retry delay, doubling per attempt up to
+	// 32x; 0 selects 200ms.
+	BackoffBase time.Duration
+	// OnJobDone observes every locally completed job result, before
+	// upload.
+	OnJobDone func(*JobResult)
+
+	// runJob overrides job execution (tests inject hangs and failures);
+	// nil selects the real harness-backed runner.
+	runJob func(ctx context.Context, job Job, test *litmus.Test, spec Spec) (*JobResult, error)
+}
+
+// Worker is a fleet member: it pulls shard leases from a perple-serve
+// dispatch campaign, executes them with the same harness-backed runner
+// the local scheduler uses, and uploads gzip-batched results. Because
+// shard seeds are identity-derived and merging is order-invariant, any
+// number of workers — joining, crashing, being replaced — drive the
+// campaign to the same final bytes as a local run.
+type Worker struct {
+	opts     WorkerOptions
+	draining atomic.Bool
+
+	// JobsCompleted and JobsFailed count this worker's own executions.
+	JobsCompleted atomic.Int64
+	JobsFailed    atomic.Int64
+}
+
+// NewWorker applies option defaults.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		opts.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opts.Parallel <= 0 {
+		opts.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if opts.LeaseBatch <= 0 {
+		opts.LeaseBatch = opts.Parallel
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 5
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 200 * time.Millisecond
+	}
+	if opts.runJob == nil {
+		opts.runJob = runJob
+	}
+	return &Worker{opts: opts}
+}
+
+// Drain asks the worker to stop pulling new leases: in-flight jobs
+// finish and upload, unstarted grants are released back to the queue,
+// and Run returns nil. Cancelling Run's context instead is the hard
+// stop — nothing is uploaded and the held leases expire server-side.
+func (w *Worker) Drain() { w.draining.Store(true) }
+
+// Run works the campaign until the server reports it done, Drain is
+// called, or ctx is cancelled.
+func (w *Worker) Run(ctx context.Context) error {
+	corpus, err := w.fetchCorpus(ctx)
+	if err != nil {
+		return err
+	}
+	if corpus.Version != ProtocolVersion {
+		return fmt.Errorf("campaign: server speaks protocol v%d, worker v%d", corpus.Version, ProtocolVersion)
+	}
+	spec := corpus.Spec
+	tests := make(map[string]*litmus.Test, len(corpus.Tests))
+	for _, ct := range corpus.Tests {
+		t, err := litmus.Parse(ct.Source)
+		if err != nil {
+			return fmt.Errorf("campaign: parsing corpus test %q: %w", ct.Name, err)
+		}
+		tests[ct.Name] = t
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if w.draining.Load() {
+			return nil
+		}
+		var lease LeaseResponse
+		if err := w.post(ctx, "lease", LeaseRequest{Worker: w.opts.Name, Max: w.opts.LeaseBatch}, &lease); err != nil {
+			return err
+		}
+		if lease.Done {
+			return nil
+		}
+		if len(lease.Grants) == 0 {
+			wait := time.Duration(lease.WaitSec * float64(time.Second))
+			if wait <= 0 {
+				wait = 500 * time.Millisecond
+			}
+			if err := sleepCtx(ctx, wait); err != nil {
+				return err
+			}
+			continue
+		}
+		done, err := w.runBatch(ctx, lease, tests, spec)
+		if err != nil || done {
+			return err
+		}
+	}
+}
+
+// runBatch executes one lease batch and uploads the outcome. It returns
+// done=true when the server reports the campaign finished.
+func (w *Worker) runBatch(ctx context.Context, lease LeaseResponse, tests map[string]*litmus.Test, spec Spec) (bool, error) {
+	ttl := time.Duration(lease.TTLSec * float64(time.Second))
+	hbStop := w.startHeartbeats(ctx, lease.Grants, ttl)
+	defer hbStop()
+
+	var (
+		mu       sync.Mutex
+		req      = CompleteRequest{Version: ProtocolVersion, Worker: w.opts.Name}
+		sem      = make(chan struct{}, w.opts.Parallel)
+		wg       sync.WaitGroup
+		abandons bool
+	)
+	for _, grant := range lease.Grants {
+		if w.draining.Load() {
+			// Graceful drain: hand unstarted grants back without touching
+			// their retry budget.
+			mu.Lock()
+			req.Released = append(req.Released, LeaseRef{JobID: grant.Job.ID, LeaseID: grant.LeaseID})
+			mu.Unlock()
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			abandons = true
+		}
+		if abandons {
+			break
+		}
+		wg.Add(1)
+		go func(grant LeaseGrant) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			test := tests[grant.Job.Test]
+			if test == nil {
+				mu.Lock()
+				req.Failures = append(req.Failures, WorkerFailure{
+					LeaseID: grant.LeaseID, JobID: grant.Job.ID,
+					Err: fmt.Sprintf("worker corpus is missing test %q", grant.Job.Test),
+				})
+				mu.Unlock()
+				return
+			}
+			jr, err := runRecovered(ctx, grant.Job, test, spec, w.opts.runJob)
+			if err != nil {
+				if ctx.Err() == nil {
+					w.JobsFailed.Add(1)
+					mu.Lock()
+					req.Failures = append(req.Failures, WorkerFailure{
+						LeaseID: grant.LeaseID, JobID: grant.Job.ID, Err: err.Error(),
+					})
+					mu.Unlock()
+				}
+				return
+			}
+			w.JobsCompleted.Add(1)
+			if w.opts.OnJobDone != nil {
+				w.opts.OnJobDone(jr)
+			}
+			mu.Lock()
+			req.Results = append(req.Results, WorkerResult{LeaseID: grant.LeaseID, Result: jr})
+			mu.Unlock()
+		}(grant)
+	}
+	wg.Wait()
+	hbStop()
+	if err := ctx.Err(); err != nil {
+		// Hard stop: abandon the batch; the leases expire and requeue.
+		return false, err
+	}
+	var resp CompleteResponse
+	if err := w.uploadComplete(ctx, req, &resp); err != nil {
+		return false, err
+	}
+	return resp.Done, nil
+}
+
+// startHeartbeats extends the batch's leases until the returned stop
+// function is called (idempotent).
+func (w *Worker) startHeartbeats(ctx context.Context, grants []LeaseGrant, ttl time.Duration) func() {
+	period := w.opts.HeartbeatEvery
+	if period <= 0 {
+		period = ttl / 3
+	}
+	if period <= 0 {
+		period = 10 * time.Second
+	}
+	refs := make([]LeaseRef, len(grants))
+	for i, g := range grants {
+		refs[i] = LeaseRef{JobID: g.Job.ID, LeaseID: g.LeaseID}
+	}
+	hbCtx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				var resp HeartbeatResponse
+				// Heartbeats are best-effort: a lost one only shortens the
+				// lease margin, and the server fences any fallout.
+				_ = w.post(hbCtx, "heartbeat", HeartbeatRequest{Worker: w.opts.Name, Leases: refs}, &resp)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cancel()
+			wg.Wait()
+		})
+	}
+}
+
+// fetchCorpus downloads the campaign's spec and test sources.
+func (w *Worker) fetchCorpus(ctx context.Context) (*CorpusResponse, error) {
+	var corpus CorpusResponse
+	err := w.retry(ctx, func() (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url("corpus"), nil)
+		if err != nil {
+			return nil, err
+		}
+		return w.opts.Client.Do(req)
+	}, &corpus)
+	if err != nil {
+		return nil, err
+	}
+	return &corpus, nil
+}
+
+// post sends a JSON request body and decodes the JSON response with
+// retry/backoff.
+func (w *Worker) post(ctx context.Context, endpoint string, body any, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return w.retry(ctx, func() (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url(endpoint), bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return w.opts.Client.Do(req)
+	}, out)
+}
+
+// uploadComplete gzips the batched results (harness wire codec) and
+// posts them with retry/backoff. A retried upload after a lost response
+// is safe: the server's completion fence deduplicates.
+func (w *Worker) uploadComplete(ctx context.Context, creq CompleteRequest, out *CompleteResponse) error {
+	data, err := harness.EncodeWire(&creq)
+	if err != nil {
+		return err
+	}
+	return w.retry(ctx, func() (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url("complete"), bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", harness.WireContentType)
+		return w.opts.Client.Do(req)
+	}, out)
+}
+
+func (w *Worker) url(endpoint string) string {
+	return fmt.Sprintf("%s/campaigns/%s/%s", w.opts.BaseURL, w.opts.Campaign, endpoint)
+}
+
+// retry runs one HTTP exchange with exponential backoff on transport
+// errors and 5xx responses; 4xx responses fail immediately (the request
+// is wrong, not the network).
+func (w *Worker) retry(ctx context.Context, do func() (*http.Response, error), out any) error {
+	backoff := w.opts.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt < w.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			// Full jitter keeps a rebooting fleet from thundering back in
+			// sync.
+			d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			if err := sleepCtx(ctx, d); err != nil {
+				return err
+			}
+			if backoff < 32*w.opts.BackoffBase {
+				backoff *= 2
+			}
+		}
+		resp, err := do()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("campaign: server error %s: %s", resp.Status, firstLine(body))
+			continue
+		case resp.StatusCode >= 400:
+			return fmt.Errorf("campaign: %s: %s", resp.Status, firstLine(body))
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(body, out); err != nil {
+			return fmt.Errorf("campaign: decoding response: %w", err)
+		}
+		return nil
+	}
+	return fmt.Errorf("campaign: giving up after %d attempts: %w", w.opts.MaxAttempts, lastErr)
+}
+
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}
+
+// sleepCtx sleeps or returns early with ctx's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire codec for shipping results between processes: JSON for
+// stability and debuggability, gzip because result payloads (histogram
+// maps above all) compress 5-10x. The campaign dispatch protocol uses it
+// for batched shard-result uploads; anything that moves harness results
+// over a network or into an artifact store should use the same framing
+// so payloads stay mutually readable.
+
+// WireContentType labels gzip-compressed JSON payloads in HTTP requests.
+const WireContentType = "application/json+gzip"
+
+// EncodeWire renders v as gzip-compressed JSON.
+func EncodeWire(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	enc := json.NewEncoder(zw)
+	if err := enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("harness: encoding wire payload: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("harness: compressing wire payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeWire decodes a gzip-compressed JSON payload into v, rejecting
+// trailing garbage after the JSON value.
+func DecodeWire(r io.Reader, v any) error {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return fmt.Errorf("harness: decompressing wire payload: %w", err)
+	}
+	defer zr.Close()
+	dec := json.NewDecoder(zr)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("harness: decoding wire payload: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("harness: trailing data after wire payload")
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	in := &Litmus7Result{
+		N:           5000,
+		TargetCount: 42,
+		Ticks:       123456,
+		Histogram:   map[string]int64{"0;1;": 4958, "0;0;": 42},
+	}
+	data, err := EncodeWire(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Litmus7Result
+	if err := DecodeWire(bytes.NewReader(data), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != in.N || out.TargetCount != in.TargetCount || out.Ticks != in.Ticks ||
+		!reflect.DeepEqual(out.Histogram, in.Histogram) {
+		t.Fatalf("round trip mismatch: got %+v, want %+v", out, in)
+	}
+}
+
+func TestWireCompresses(t *testing.T) {
+	// A realistic histogram payload must come out smaller than its plain
+	// JSON; that shrinkage is the reason the upload path gzips at all.
+	hist := map[string]int64{}
+	for i := 0; i < 500; i++ {
+		hist[OutcomeKey([][]int64{{int64(i)}, {int64(i % 7)}})] = int64(i)
+	}
+	data, err := EncodeWire(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int64
+	if err := DecodeWire(bytes.NewReader(data), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, hist) {
+		t.Fatal("histogram did not survive the round trip")
+	}
+	if plain := len(mustJSON(t, hist)); len(data) >= plain {
+		t.Fatalf("wire payload %dB not smaller than plain JSON %dB", len(data), plain)
+	}
+}
+
+func TestDecodeWireRejectsGarbage(t *testing.T) {
+	if err := DecodeWire(bytes.NewReader([]byte("not gzip")), &struct{}{}); err == nil {
+		t.Fatal("DecodeWire accepted non-gzip input")
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte(`{"a":1} {"b":2}`))
+	zw.Close()
+	var v map[string]int64
+	if err := DecodeWire(&buf, &v); err == nil {
+		t.Fatal("DecodeWire accepted trailing data")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

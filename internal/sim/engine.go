@@ -118,22 +118,18 @@ func (m *machine) newIteration(th *simThread, overhead int64) {
 // nextDrain returns the logical buffer index of the entry that drains
 // next: index 0 under TSO's single FIFO; the minimum drainAt under PSO
 // (store assigns per-location-monotone drain times, so the global minimum
-// is always some location's head). Returns -1 for an empty buffer.
+// is always some location's head). PSO reads the buffer's cached minimum
+// — applyDrains probes every thread on every load, so the common
+// nothing-to-drain probe must not rescan the buffer. Returns -1 for an
+// empty buffer.
 func (m *machine) nextDrain(th *simThread) int {
-	n := th.buf.len()
-	if n == 0 {
+	if th.buf.len() == 0 {
 		return -1
 	}
 	if !m.pso {
 		return 0
 	}
-	best := 0
-	for i := 1; i < n; i++ {
-		if th.buf.at(i).drainAt < th.buf.at(best).drainAt {
-			best = i
-		}
-	}
-	return best
+	return th.buf.minDrainIdx()
 }
 
 // applyDrains moves every pending store with drainAt ≤ upTo into shared

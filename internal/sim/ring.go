@@ -8,10 +8,19 @@ package sim
 // shifts toward the nearer end, preserving order, and is bounded by the
 // buffer length — which stays small because drains are applied before
 // every load.
+//
+// The buffer also caches the logical index of its minimum-drainAt entry
+// (earliest index on ties, matching a front-to-back scan). PSO's drain
+// loop queries every thread's minimum on every load, usually without
+// draining anything, so the cache turns those repeated O(buf) scans
+// into O(1) lookups; it is invalidated only when the minimum itself is
+// removed, and lazily recomputed on the next query.
 type storeBuf struct {
-	e    []bufEntry // ring storage; len(e) is 0 or a power of two
-	head int        // physical index of the oldest live entry
-	n    int        // live entry count
+	e      []bufEntry // ring storage; len(e) is 0 or a power of two
+	head   int        // physical index of the oldest live entry
+	n      int        // live entry count
+	minIdx int        // logical index of the min-drainAt entry, valid iff minOK
+	minOK  bool
 }
 
 func (b *storeBuf) len() int { return b.n }
@@ -21,7 +30,7 @@ func (b *storeBuf) len() int { return b.n }
 func (b *storeBuf) at(i int) *bufEntry { return &b.e[(b.head+i)&(len(b.e)-1)] }
 
 // reset empties the buffer, keeping the backing array for reuse.
-func (b *storeBuf) reset() { b.head, b.n = 0, 0 }
+func (b *storeBuf) reset() { b.head, b.n, b.minOK = 0, 0, false }
 
 // push appends a new youngest entry, growing the ring if full.
 func (b *storeBuf) push(e bufEntry) {
@@ -30,6 +39,34 @@ func (b *storeBuf) push(e bufEntry) {
 	}
 	b.e[(b.head+b.n)&(len(b.e)-1)] = e
 	b.n++
+	switch {
+	case b.n == 1:
+		b.minIdx, b.minOK = 0, true
+	case b.minOK && e.drainAt < b.at(b.minIdx).drainAt:
+		// Strictly smaller: the new entry is the unique minimum. An equal
+		// drainAt keeps the cached (earlier) index, matching the scan's
+		// first-minimum tie-break.
+		b.minIdx = b.n - 1
+	}
+}
+
+// minDrainIdx returns the logical index of the entry with the smallest
+// drainAt (earliest index on ties), recomputing the cache if a removal
+// invalidated it. Returns -1 for an empty buffer.
+func (b *storeBuf) minDrainIdx() int {
+	if b.n == 0 {
+		return -1
+	}
+	if !b.minOK {
+		best := 0
+		for i := 1; i < b.n; i++ {
+			if b.at(i).drainAt < b.at(best).drainAt {
+				best = i
+			}
+		}
+		b.minIdx, b.minOK = best, true
+	}
+	return b.minIdx
 }
 
 func (b *storeBuf) grow() {
@@ -45,6 +82,16 @@ func (b *storeBuf) grow() {
 // is an O(1) head bump; interior indices shift the shorter side.
 func (b *storeBuf) removeAt(i int) bufEntry {
 	e := *b.at(i)
+	if b.minOK {
+		switch {
+		case i == b.minIdx:
+			b.minOK = false
+		case i < b.minIdx:
+			// Order is preserved, so every entry past i slides down one
+			// logical slot.
+			b.minIdx--
+		}
+	}
 	switch {
 	case i == 0:
 		b.head = (b.head + 1) & (len(b.e) - 1)

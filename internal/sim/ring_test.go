@@ -126,6 +126,50 @@ func TestStoreBufGrowthKeepsOrder(t *testing.T) {
 	}
 }
 
+// naiveMinIdx is the reference the cache must match: a front-to-back
+// scan preferring the earliest index on drainAt ties.
+func naiveMinIdx(b *storeBuf) int {
+	if b.len() == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < b.len(); i++ {
+		if b.at(i).drainAt < b.at(best).drainAt {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestStoreBufMinDrainIdxMatchesScan(t *testing.T) {
+	// Random push/removeAt/reset churn, querying the cached minimum after
+	// every mutation. Drain times are drawn from a small range so ties are
+	// common — the cache must reproduce the scan's first-minimum
+	// tie-break exactly, since PSO drain order (and thus seeded results)
+	// depends on it.
+	rng := rand.New(rand.NewSource(11))
+	var b storeBuf
+	for op := 0; op < 20000; op++ {
+		switch {
+		case b.len() == 0 || rng.Float64() < 0.55:
+			b.push(bufEntry{memIdx: op, drainAt: int64(rng.Intn(12))})
+		case rng.Float64() < 0.02:
+			b.reset()
+		default:
+			// Bias removals toward the minimum, mirroring applyDrains.
+			i := rng.Intn(b.len())
+			if rng.Float64() < 0.5 {
+				i = naiveMinIdx(&b)
+			}
+			b.removeAt(i)
+		}
+		want := naiveMinIdx(&b)
+		if got := b.minDrainIdx(); got != want {
+			t.Fatalf("op %d: minDrainIdx = %d, want %d (buf %v)", op, got, want, bufEntries(&b))
+		}
+	}
+}
+
 func TestStoreBufReset(t *testing.T) {
 	var b storeBuf
 	for i := 0; i < 10; i++ {

@@ -8,9 +8,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PAT=${BENCH_PAT:-'BenchmarkSim|BenchmarkCount'}
+PAT=${BENCH_PAT:-'BenchmarkSim|BenchmarkCount|BenchmarkFleet'}
 TIME=${BENCH_TIME:-2x}
 OUT=${BENCH_OUT:-BENCH_simcore.json}
 
-go test -run '^$' -bench "$PAT" -benchmem -benchtime "$TIME" . |
+# BenchmarkFleet* live in internal/campaign (they need the dispatch
+# internals); everything else is in the root package.
+go test -run '^$' -bench "$PAT" -benchmem -benchtime "$TIME" . ./internal/campaign |
     go run ./cmd/perple-bench -o "$OUT"
