@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet
+.PHONY: build test race bench vet lint fuzz
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Determinism lint: the result-path packages must not read wall clocks,
+# the global math/rand source, or emit output in map-iteration order.
+lint: vet
+	$(GO) run ./scripts/analyzers/nodeterminism ./internal/sim ./internal/harness ./internal/core ./internal/litmus
+
+# Short local fuzz pass over the litmus parser (CI runs the seed corpus
+# as ordinary tests; this explores new inputs).
+fuzz:
+	$(GO) test ./internal/litmus -fuzz FuzzParseRoundTrip -fuzztime 30s
 
 # Capture the sim/counter core benchmarks into BENCH_simcore.json
 # (committed, so future PRs can diff the perf trajectory).

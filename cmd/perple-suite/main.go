@@ -79,11 +79,12 @@ func run() error {
 	workers := flag.Int("workers", 0, "campaign worker goroutines (default: GOMAXPROCS)")
 	intraWorkers := flag.Int("intra-workers", 1, "worker goroutines inside each campaign job (result-affecting; recorded in checkpoints)")
 	remote := flag.String("remote", "", "perple-serve base URL: submit the campaign as a dispatch job for perple-worker fleet members")
+	axiomPolicy := flag.String("axiom", "", "campaign axiom policy: warn (default) flags statically forbidden/unsatisfiable targets, reject drops them from the sweep, off skips the check")
 	flag.Parse()
 
 	if *remote != "" {
 		spec, err := buildSpec(*specPath, *dir, *tool, *mixed, *n, *seed, *preset, *exhCap,
-			*shardSize, *workers, *intraWorkers)
+			*shardSize, *workers, *intraWorkers, *axiomPolicy)
 		if err != nil {
 			return err
 		}
@@ -91,7 +92,7 @@ func run() error {
 	}
 	if *useCampaign || *specPath != "" {
 		return runCampaign(*specPath, *dir, *tool, *mixed, *n, *seed, *preset, *exhCap,
-			*checkpoint, *shardSize, *workers, *intraWorkers)
+			*checkpoint, *shardSize, *workers, *intraWorkers, *axiomPolicy)
 	}
 
 	cfg, err := sim.Preset(*preset)
@@ -140,9 +141,9 @@ func run() error {
 // from -spec JSON when given, otherwise it is assembled from the same
 // flags the sequential path uses.
 func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, preset string,
-	exhCap int, checkpoint string, shardSize, workers, intraWorkers int) error {
+	exhCap int, checkpoint string, shardSize, workers, intraWorkers int, axiomPolicy string) error {
 	spec, err := buildSpec(specPath, dir, tool, mixed, n, seed, preset, exhCap,
-		shardSize, workers, intraWorkers)
+		shardSize, workers, intraWorkers, axiomPolicy)
 	if err != nil {
 		return err
 	}
@@ -151,6 +152,7 @@ func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, pres
 	if err != nil {
 		return err
 	}
+	printAxiomFlags(camp.AxiomInfo())
 	testNames := map[string]bool{}
 	for _, job := range camp.Jobs() {
 		testNames[job.Test] = true
@@ -194,9 +196,14 @@ func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, pres
 // buildSpec assembles a campaign spec from -spec JSON when given,
 // otherwise from the same flags the sequential path uses.
 func buildSpec(specPath, dir, tool string, mixed bool, n int, seed int64, preset string,
-	exhCap, shardSize, workers, intraWorkers int) (campaign.Spec, error) {
+	exhCap, shardSize, workers, intraWorkers int, axiomPolicy string) (campaign.Spec, error) {
 	if specPath != "" {
-		return campaign.LoadSpec(specPath)
+		spec, err := campaign.LoadSpec(specPath)
+		if err == nil && axiomPolicy != "" {
+			spec.Axiom = axiomPolicy
+			err = spec.Validate()
+		}
+		return spec, err
 	}
 	campaignTool := tool
 	if mixed {
@@ -212,11 +219,45 @@ func buildSpec(specPath, dir, tool string, mixed bool, n int, seed int64, preset
 		ExhCap:       exhCap,
 		Workers:      workers,
 		IntraWorkers: intraWorkers,
+		Axiom:        axiomPolicy,
 	}
 	if err := spec.Validate(); err != nil {
 		return campaign.Spec{}, err
 	}
 	return spec, nil
+}
+
+// printAxiomFlags surfaces noteworthy static classifications before the
+// sweep starts: rejected tests, unsatisfiable or forbidden targets (a
+// forbidden target means the budget can only ever detect simulator
+// conformance bugs), and tests beyond the exact-enumeration cutoff.
+func printAxiomFlags(info map[string]campaign.TestAxiom) {
+	names := make([]string, 0, len(info))
+	for name := range info {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ta := info[name]
+		switch {
+		case ta.Excluded:
+			fmt.Printf("axiom: %s: target statically rejected (%s); excluded from the sweep\n",
+				name, axiomReason(ta))
+		case ta.Unsatisfiable:
+			fmt.Printf("axiom: warn: %s: target is unsatisfiable — no execution can produce it\n", name)
+		case ta.Class == "forbidden":
+			fmt.Printf("axiom: warn: %s: target is forbidden under SC and TSO; iterations can only detect conformance bugs\n", name)
+		case ta.Note != "":
+			fmt.Printf("axiom: note: %s: %s\n", name, ta.Note)
+		}
+	}
+}
+
+func axiomReason(ta campaign.TestAxiom) string {
+	if ta.Unsatisfiable {
+		return "unsatisfiable"
+	}
+	return ta.Class
 }
 
 // runRemote submits the spec to a perple-serve instance as a dispatch

@@ -1,0 +1,390 @@
+// Package axiom is a static axiomatic x86-TSO/SC checker over the
+// litmus.Test AST, in the style of herd ("Herding Cats", Alglave,
+// Maranget, Tautschnig). It enumerates candidate executions symbolically
+// — program order is fixed; every reads-from assignment and every
+// per-location coherence order is a choice — filters them against the
+// axioms of sequential consistency and of x86-TSO, and classifies each
+// final-state outcome of a test as SCAllowed, TSOOnly (the interesting
+// weak outcomes) or Forbidden.
+//
+// The axioms, following herd's x86tso.cat:
+//
+//   - coherence ("uniproc"): program order restricted to same-location
+//     accesses, together with rf, co and the derived fr, must be acyclic
+//     under every model;
+//   - SC: full po ∪ rf ∪ co ∪ fr acyclic;
+//   - TSO: ghb = ppo ∪ mfence ∪ rfe ∪ co ∪ fr acyclic, where ppo drops
+//     store→load program order (the store-buffer relaxation), mfence
+//     restores it across an OpFence, and rfe keeps only cross-thread
+//     read-from edges — a same-thread rf is store-to-load forwarding and
+//     does not prove the store reached memory.
+//
+// Unlike the happens-before checker in internal/memmodel (which this
+// package cross-validates against in tests), the enumeration here is
+// engineered as a static pre-flight: sub-relations are memoized per test
+// (program-order bitmasks, po-consistent coherence permutations, pruned
+// reads-from candidate lists, from-read suffix masks) and all per-
+// candidate work runs on reusable uint64 adjacency masks, so suite-sized
+// tests classify in microseconds and whole corpora in well under a
+// second. Enumeration is exact up to an explicit cutoff (Limits); above
+// it Analyze refuses with a *TooLargeError instead of answering
+// inexactly, so the result is always a proof, never a sample.
+package axiom
+
+import (
+	"fmt"
+
+	"perple/internal/litmus"
+)
+
+// Class classifies one outcome of a litmus test against the two models.
+type Class int
+
+const (
+	// Forbidden outcomes are allowed by neither SC nor x86-TSO; a
+	// conforming machine never produces them, so a test targeting one is
+	// statically useless (or a conformance-bug detector).
+	Forbidden Class = iota
+	// TSOOnly outcomes are allowed by x86-TSO but not by SC: observing
+	// one witnesses store buffering. These are the targets memory
+	// consistency testing is after.
+	TSOOnly
+	// SCAllowed outcomes are allowed by SC (hence by TSO too); observing
+	// one says nothing about the memory model.
+	SCAllowed
+)
+
+func (c Class) String() string {
+	switch c {
+	case Forbidden:
+		return "forbidden"
+	case TSOOnly:
+		return "tso-only"
+	case SCAllowed:
+		return "sc-allowed"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Limits is the enumeration cutoff. Classification is exact for every
+// test within the limits; beyond them Analyze returns *TooLargeError.
+type Limits struct {
+	// MaxThreads bounds the thread count. Zero selects the default.
+	MaxThreads int
+	// MaxEvents bounds the total memory events (loads + stores; fences
+	// are free). Zero selects the default.
+	MaxEvents int
+}
+
+// Default cutoffs: every test of the Table II suite fits (the largest,
+// rfi017, has 7 events on 2 threads; iriw has 6 events on 4 threads).
+const (
+	DefaultMaxThreads = 4
+	DefaultMaxEvents  = 8
+)
+
+// DefaultLimits returns the default enumeration cutoff.
+func DefaultLimits() Limits {
+	return Limits{MaxThreads: DefaultMaxThreads, MaxEvents: DefaultMaxEvents}
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxThreads <= 0 {
+		l.MaxThreads = DefaultMaxThreads
+	}
+	if l.MaxEvents <= 0 {
+		l.MaxEvents = DefaultMaxEvents
+	}
+	return l
+}
+
+// TooLargeError reports a test beyond the enumeration cutoff. The checker
+// refuses rather than subsampling: a partial enumeration could misreport
+// an allowed outcome as Forbidden, which downstream consumers (campaign
+// pre-flight, the differential oracle) treat as proof.
+type TooLargeError struct {
+	Test    string
+	Threads int
+	Events  int
+	Limits  Limits
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("axiom: %s exceeds the exact-enumeration cutoff (%d threads, %d events; limits %d threads, %d events): refusing to classify inexactly",
+		e.Test, e.Threads, e.Events, e.Limits.MaxThreads, e.Limits.MaxEvents)
+}
+
+// Result is one distinct final state some axiom-consistent execution
+// produces: the register file, the final memory, the models that allow
+// it, and a witness execution per model.
+type Result struct {
+	Regs [][]int64
+	Mem  map[litmus.Loc]int64
+	// SC reports whether some SC-consistent execution produces this
+	// state. TSO is implied true for every Result (SC-consistent
+	// executions are TSO-consistent; only TSO-consistent states are
+	// recorded).
+	SC bool
+	// WitnessTSO is the first TSO-consistent execution producing this
+	// state; WitnessSC the first SC-consistent one (nil when !SC).
+	WitnessTSO *Witness
+	WitnessSC  *Witness
+}
+
+// OutcomeClass pairs one outcome of the test's register-outcome space
+// with its classification.
+type OutcomeClass struct {
+	Outcome litmus.Outcome
+	Class   Class
+}
+
+// TargetInfo is the analysis of the test's declared target outcome.
+type TargetInfo struct {
+	Class Class
+	// Unsatisfiable: some condition constrains a register or location to
+	// a value outside its static value domain — no candidate execution,
+	// consistent or not, can produce it. (A satisfiable-but-Forbidden
+	// target is not Unsatisfiable.)
+	Unsatisfiable bool
+	// Vacuous: every TSO-consistent execution satisfies the target, so
+	// observing it carries no information.
+	Vacuous bool
+	// Witness is an execution exhibiting the target: an SC witness when
+	// the target is SCAllowed, else a TSO witness when TSOOnly; nil when
+	// Forbidden.
+	Witness *Witness
+}
+
+// Report is the full static analysis of one test.
+type Report struct {
+	Test   *litmus.Test
+	Limits Limits
+
+	// Executions is the number of symbolic candidates enumerated
+	// (reads-from assignments × coherence orders, after static pruning);
+	// Consistent of those passing the coherence axiom.
+	Executions int
+	Consistent int
+
+	// Results are the distinct final states allowed under TSO, in first-
+	// witnessed (deterministic) order.
+	Results []Result
+
+	// Outcomes classifies the test's full register-outcome space
+	// (litmus.Test.AllOutcomes order).
+	Outcomes []OutcomeClass
+
+	// Target analyzes the declared target outcome.
+	Target TargetInfo
+
+	keys map[string]int // resultKey -> Results index
+}
+
+// Analyze classifies the test under the default cutoff.
+func Analyze(t *litmus.Test) (*Report, error) {
+	return AnalyzeWithLimits(t, DefaultLimits())
+}
+
+// AnalyzeWithLimits classifies the test, enumerating exactly up to lim.
+func AnalyzeWithLimits(t *litmus.Test, lim Limits) (*Report, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	lim = lim.withDefaults()
+	a, err := newAnalysis(t, lim)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Test: t, Limits: lim, keys: map[string]int{}}
+	a.enumerate(rep)
+	rep.classifyOutcomes()
+	rep.classifyTarget()
+	return rep, nil
+}
+
+// Classify returns the class of an arbitrary outcome of the test.
+func (r *Report) Classify(o litmus.Outcome) Class {
+	cls := Forbidden
+	for i := range r.Results {
+		res := &r.Results[i]
+		if !o.HoldsFull(res.Regs, res.Mem) {
+			continue
+		}
+		if res.SC {
+			return SCAllowed
+		}
+		cls = TSOOnly
+	}
+	return cls
+}
+
+// WitnessFor returns a witness execution exhibiting the outcome under the
+// strongest model that allows it (SC first, else TSO), or nil when the
+// outcome is Forbidden.
+func (r *Report) WitnessFor(o litmus.Outcome) *Witness {
+	var tso *Witness
+	for i := range r.Results {
+		res := &r.Results[i]
+		if !o.HoldsFull(res.Regs, res.Mem) {
+			continue
+		}
+		if res.SC {
+			return res.WitnessSC
+		}
+		if tso == nil {
+			tso = res.WitnessTSO
+		}
+	}
+	return tso
+}
+
+// TSOAllows reports whether the final state (regs, mem) is allowed under
+// x86-TSO. mem may be nil when the caller has no final-memory view; the
+// state then matches on registers alone.
+func (r *Report) TSOAllows(regs [][]int64, mem map[litmus.Loc]int64) bool {
+	if mem != nil {
+		_, ok := r.keys[stateKey(r.Test, regs, mem)]
+		return ok
+	}
+	for i := range r.Results {
+		if regsEqual(r.Results[i].Regs, regs) {
+			return true
+		}
+	}
+	return false
+}
+
+// SCAllows is TSOAllows for the SC subset.
+func (r *Report) SCAllows(regs [][]int64, mem map[litmus.Loc]int64) bool {
+	if mem != nil {
+		i, ok := r.keys[stateKey(r.Test, regs, mem)]
+		return ok && r.Results[i].SC
+	}
+	for i := range r.Results {
+		if r.Results[i].SC && regsEqual(r.Results[i].Regs, regs) {
+			return true
+		}
+	}
+	return false
+}
+
+// SCResults returns the SC-consistent subset of Results.
+func (r *Report) SCResults() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if res.SC {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+func (r *Report) classifyOutcomes() {
+	outs := r.Test.AllOutcomes()
+	r.Outcomes = make([]OutcomeClass, len(outs))
+	for i, o := range outs {
+		r.Outcomes[i] = OutcomeClass{Outcome: o, Class: r.Classify(o)}
+	}
+}
+
+func (r *Report) classifyTarget() {
+	t := r.Test
+	r.Target.Class = r.Classify(t.Target)
+	r.Target.Unsatisfiable = targetUnsatisfiable(t)
+	r.Target.Witness = r.WitnessFor(t.Target)
+	if len(r.Results) > 0 {
+		vac := true
+		for i := range r.Results {
+			if !t.Target.HoldsFull(r.Results[i].Regs, r.Results[i].Mem) {
+				vac = false
+				break
+			}
+		}
+		r.Target.Vacuous = vac
+	}
+}
+
+// targetUnsatisfiable checks each condition's value against its static
+// value domain: a register's final value is its last load's location's
+// initial value or one of the values stored there; a location's final
+// value likewise. Out-of-domain conditions can never hold, regardless of
+// the memory model — typically a typo in a hand-written .litmus file.
+func targetUnsatisfiable(t *litmus.Test) bool {
+	lastLoc := map[[2]int]litmus.Loc{}
+	for ti, th := range t.Threads {
+		for _, in := range th.Instrs {
+			if in.Kind == litmus.OpLoad {
+				lastLoc[[2]int{ti, in.Reg}] = in.Loc
+			}
+		}
+	}
+	inDomain := func(loc litmus.Loc, v int64) bool {
+		if v == t.Init[loc] {
+			return true
+		}
+		for _, sv := range t.StoreValues(loc) {
+			if sv == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range t.Target.Conds {
+		if c.IsMem() {
+			if !inDomain(c.Loc, c.Value) {
+				return true
+			}
+			continue
+		}
+		loc, ok := lastLoc[[2]int{c.Thread, c.Reg}]
+		if !ok || !inDomain(loc, c.Value) {
+			return true
+		}
+	}
+	return false
+}
+
+func regsEqual(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stateKey encodes a (register file, final memory) state canonically.
+func stateKey(t *litmus.Test, regs [][]int64, mem map[litmus.Loc]int64) string {
+	b := make([]byte, 0, 64)
+	for _, tr := range regs {
+		for _, v := range tr {
+			b = appendInt(b, v)
+		}
+		b = append(b, '|')
+	}
+	b = append(b, '#')
+	for _, loc := range t.Locs() {
+		b = appendInt(b, mem[loc])
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10), ',')
+}

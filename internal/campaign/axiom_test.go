@@ -1,0 +1,132 @@
+package campaign
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSpecAxiomValidation: the policy defaults to warn and unknown
+// values are rejected.
+func TestSpecAxiomValidation(t *testing.T) {
+	var s Spec
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Axiom != AxiomWarn {
+		t.Fatalf("default axiom policy = %q, want %q", s.Axiom, AxiomWarn)
+	}
+	bad := Spec{Axiom: "maybe"}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "axiom policy") {
+		t.Fatalf("bad policy error = %v", err)
+	}
+}
+
+// TestAxiomWarnClassifies: the default policy records a classification
+// for every corpus test without touching the job list.
+func TestAxiomWarnClassifies(t *testing.T) {
+	camp, err := New(Spec{Tests: []string{"sb", "mp"}, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := camp.AxiomInfo()
+	if info["sb"].Class != "tso-only" || info["sb"].Excluded {
+		t.Errorf("sb = %+v, want tso-only and not excluded", info["sb"])
+	}
+	if info["mp"].Class != "forbidden" || info["mp"].Excluded {
+		t.Errorf("mp = %+v, want forbidden but not excluded under warn", info["mp"])
+	}
+	seen := map[string]bool{}
+	for _, job := range camp.Jobs() {
+		seen[job.Test] = true
+	}
+	if !seen["sb"] || !seen["mp"] {
+		t.Errorf("warn policy changed the job list: %v", seen)
+	}
+}
+
+// TestAxiomRejectExcludes: reject drops statically forbidden targets
+// from job expansion and from the dispatch wire corpus, and marks them
+// in the classification.
+func TestAxiomRejectExcludes(t *testing.T) {
+	camp, err := New(Spec{Tests: []string{"sb", "mp"}, Iterations: 10, Axiom: AxiomReject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := camp.AxiomInfo()
+	if !info["mp"].Excluded {
+		t.Errorf("mp = %+v, want excluded", info["mp"])
+	}
+	if info["sb"].Excluded {
+		t.Errorf("sb = %+v, want kept", info["sb"])
+	}
+	for _, job := range camp.Jobs() {
+		if job.Test != "sb" {
+			t.Errorf("job %d runs rejected test %s", job.ID, job.Test)
+		}
+	}
+	for _, ct := range buildCorpus(camp) {
+		if ct.Name == "mp" {
+			t.Error("rejected test leaked into the dispatch corpus")
+		}
+	}
+}
+
+// TestAxiomRejectEmptyCorpus: rejecting every test is an error, not a
+// silent no-op campaign.
+func TestAxiomRejectEmptyCorpus(t *testing.T) {
+	_, err := New(Spec{Tests: []string{"mp"}, Iterations: 10, Axiom: AxiomReject})
+	if err == nil || !strings.Contains(err.Error(), "rejected every corpus test") {
+		t.Fatalf("err = %v, want rejected-every-test error", err)
+	}
+}
+
+// TestAxiomOff: classification is skipped entirely.
+func TestAxiomOff(t *testing.T) {
+	camp, err := New(Spec{Tests: []string{"sb"}, Iterations: 10, Axiom: AxiomOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.AxiomInfo() != nil {
+		t.Fatalf("AxiomInfo = %v, want nil under off", camp.AxiomInfo())
+	}
+}
+
+// TestHTTPCarriesAxiom: the submit response counts reject-mode
+// exclusions and the status/list endpoints carry the per-test
+// classification map.
+func TestHTTPCarriesAxiom(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, resp := postJSON(t, ts.URL+"/campaigns",
+		`{"tests": ["sb", "mp"], "iterations": 20, "axiom": "reject"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %v", code, resp)
+	}
+	if n, ok := resp["axiom_excluded"].(float64); !ok || n != 1 {
+		t.Errorf("axiom_excluded = %v, want 1", resp["axiom_excluded"])
+	}
+	id := resp["id"].(string)
+
+	st := getJSON(t, ts.URL+"/campaigns/"+id, http.StatusOK)
+	ax, ok := st["axiom"].(map[string]any)
+	if !ok {
+		t.Fatalf("status has no axiom map: %v", st)
+	}
+	mp, _ := ax["mp"].(map[string]any)
+	if mp["class"] != "forbidden" || mp["excluded"] != true {
+		t.Errorf("mp classification = %v, want forbidden+excluded", mp)
+	}
+	sb, _ := ax["sb"].(map[string]any)
+	if sb["class"] != "tso-only" {
+		t.Errorf("sb classification = %v, want tso-only", sb)
+	}
+
+	list := getJSON(t, ts.URL+"/campaigns", http.StatusOK)
+	camps := list["campaigns"].([]any)
+	if len(camps) != 1 {
+		t.Fatalf("list = %v", list)
+	}
+	if _, ok := camps[0].(map[string]any)["axiom"]; !ok {
+		t.Error("list entry missing axiom classification")
+	}
+}

@@ -35,7 +35,8 @@ type serverRun struct {
 	cancel     context.CancelFunc
 	metrics    *Metrics
 	started    time.Time
-	dispatcher *Dispatcher // nil for local runs
+	dispatcher *Dispatcher          // nil for local runs
+	axiom      map[string]TestAxiom // static target classification; read-only after submit
 
 	mu       sync.Mutex
 	state    string
@@ -258,6 +259,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		metrics: &Metrics{},
 		started: time.Now(),
 		state:   StateRunning,
+		axiom:   camp.AxiomInfo(),
 	}
 	opts := Options{Metrics: run.metrics}
 	if s.CheckpointDir != "" {
@@ -294,6 +296,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	resp := map[string]any{"id": id, "jobs": len(camp.jobs)}
 	if mode == "dispatch" {
 		resp["mode"] = "dispatch"
+	}
+	if excluded := excludedCount(run.axiom); excluded > 0 {
+		resp["axiom_excluded"] = excluded
 	}
 	writeJSON(w, http.StatusAccepted, resp)
 }
@@ -392,6 +397,20 @@ type runStatus struct {
 	Finished string          `json:"finished,omitempty"`
 	Metrics  Snapshot        `json:"metrics"`
 	Dispatch *dispatchStatus `json:"dispatch,omitempty"`
+	// Axiom carries the static per-test target classification recorded at
+	// submit time (absent when the spec's axiom policy is "off").
+	Axiom map[string]TestAxiom `json:"axiom,omitempty"`
+}
+
+// excludedCount tallies reject-policy exclusions in a classification map.
+func excludedCount(axiom map[string]TestAxiom) int {
+	n := 0
+	for _, ta := range axiom {
+		if ta.Excluded {
+			n++
+		}
+	}
+	return n
 }
 
 // dispatchStatus is the lease ledger's aggregate state for dispatch-mode
@@ -422,6 +441,7 @@ func (r *serverRun) status() runStatus {
 		ds.Pending, ds.Leased, ds.Done, ds.Failed = r.dispatcher.Status()
 		st.Dispatch = &ds
 	}
+	st.Axiom = r.axiom
 	return st
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"perple/internal/axiom"
 	"perple/internal/litmus"
 )
 
@@ -40,10 +41,25 @@ type Campaign struct {
 	Spec  Spec
 	tests map[string]*litmus.Test
 	jobs  []Job
+	axiom map[string]TestAxiom // nil when Spec.Axiom is off
 }
 
-// New validates the spec, resolves its corpus, and expands the job
-// list.
+// TestAxiom is the static classification internal/axiom assigned to one
+// corpus test's declared target at campaign construction.
+type TestAxiom struct {
+	// Class is "sc-allowed", "tso-only", or "forbidden"; empty when the
+	// test exceeded the checker's exact-enumeration cutoff (see Note).
+	Class         string `json:"class,omitempty"`
+	Unsatisfiable bool   `json:"unsatisfiable,omitempty"`
+	Vacuous       bool   `json:"vacuous,omitempty"`
+	// Note explains why an unclassified test could not be analyzed.
+	Note string `json:"note,omitempty"`
+	// Excluded marks tests the reject policy dropped from job expansion.
+	Excluded bool `json:"excluded,omitempty"`
+}
+
+// New validates the spec, resolves its corpus, classifies every test's
+// target per the spec's axiom policy, and expands the job list.
 func New(spec Spec) (*Campaign, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -59,11 +75,77 @@ func New(spec Spec) (*Campaign, error) {
 		}
 		byName[t.Name] = t
 	}
-	return &Campaign{Spec: spec, tests: byName, jobs: spec.Jobs(tests)}, nil
+	axioms, tests, err := classifyCorpus(spec, tests)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the test map in step with the filtered corpus: it also feeds
+	// the dispatch-mode wire corpus, and workers should never even see a
+	// rejected test.
+	for name, ta := range axioms {
+		if ta.Excluded {
+			delete(byName, name)
+		}
+	}
+	return &Campaign{Spec: spec, tests: byName, jobs: spec.Jobs(tests), axiom: axioms}, nil
+}
+
+// classifyCorpus runs the static axiomatic checker over the corpus per
+// the spec's axiom policy, returning the per-test classification (nil
+// under AxiomOff) and the test list job expansion should use.
+func classifyCorpus(spec Spec, tests []*litmus.Test) (map[string]TestAxiom, []*litmus.Test, error) {
+	if spec.Axiom == AxiomOff {
+		return nil, tests, nil
+	}
+	info := make(map[string]TestAxiom, len(tests))
+	kept := tests
+	if spec.Axiom == AxiomReject {
+		kept = make([]*litmus.Test, 0, len(tests))
+	}
+	for _, t := range tests {
+		var ta TestAxiom
+		rep, err := axiom.Analyze(t)
+		switch {
+		case err == nil:
+			ta.Class = rep.Target.Class.String()
+			ta.Unsatisfiable = rep.Target.Unsatisfiable
+			ta.Vacuous = rep.Target.Vacuous
+		default:
+			if _, tooLarge := err.(*axiom.TooLargeError); !tooLarge {
+				return nil, nil, fmt.Errorf("campaign: classifying %s: %w", t.Name, err)
+			}
+			ta.Note = err.Error()
+		}
+		if spec.Axiom == AxiomReject {
+			if ta.Class == axiom.Forbidden.String() || ta.Unsatisfiable {
+				ta.Excluded = true
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		info[t.Name] = ta
+	}
+	if len(kept) == 0 {
+		return nil, nil, fmt.Errorf("campaign: axiom policy %q rejected every corpus test", spec.Axiom)
+	}
+	return info, kept, nil
 }
 
 // Jobs returns the campaign's deterministic job list.
 func (c *Campaign) Jobs() []Job { return append([]Job(nil), c.jobs...) }
+
+// AxiomInfo returns the per-test static classification recorded at
+// construction, keyed by test name; nil when the axiom policy is off.
+func (c *Campaign) AxiomInfo() map[string]TestAxiom {
+	if c.axiom == nil {
+		return nil
+	}
+	out := make(map[string]TestAxiom, len(c.axiom))
+	for name, ta := range c.axiom {
+		out[name] = ta
+	}
+	return out
+}
 
 // outcome is what a worker hands the collector: exactly one field set.
 type outcome struct {

@@ -77,7 +77,27 @@ type Spec struct {
 	// derived-seed subshards, not the serial shard), so checkpoints
 	// record it and a resume must keep it. Default: 1.
 	IntraWorkers int `json:"intra_workers,omitempty"`
+
+	// Axiom selects what the static axiomatic checker (internal/axiom)
+	// does with each corpus test's declared target at campaign
+	// construction: AxiomWarn (the default) classifies every target and
+	// records the result alongside the campaign; AxiomReject additionally
+	// drops tests whose target is statically forbidden or unsatisfiable
+	// from job expansion — iterations spent on them can only ever detect
+	// simulator conformance bugs, never memory-model behaviour; AxiomOff
+	// skips the analysis. Tests beyond the checker's exact-enumeration
+	// cutoff are never rejected, only annotated. Because AxiomReject
+	// changes the job list, the policy is part of the spec's checkpoint
+	// identity.
+	Axiom string `json:"axiom,omitempty"`
 }
+
+// Axiom policy values for Spec.Axiom.
+const (
+	AxiomOff    = "off"
+	AxiomWarn   = "warn"
+	AxiomReject = "reject"
+)
 
 // Spec defaults, applied by Validate.
 const (
@@ -123,6 +143,14 @@ func (s *Spec) Validate() error {
 	}
 	if s.IntraWorkers <= 0 {
 		s.IntraWorkers = 1
+	}
+	if s.Axiom == "" {
+		s.Axiom = AxiomWarn
+	}
+	switch s.Axiom {
+	case AxiomOff, AxiomWarn, AxiomReject:
+	default:
+		return fmt.Errorf("campaign: unknown axiom policy %q (want off, warn, or reject)", s.Axiom)
 	}
 	for _, tool := range s.Tools {
 		if err := validateTool(tool); err != nil {

@@ -74,7 +74,7 @@ func (lr *Litmus7Runner) Run(n int, mode sim.Mode, cfg sim.Config) (*Litmus7Resu
 // RunCtx is Run under a context; see RunLitmus7Ctx for cancellation
 // semantics.
 func (lr *Litmus7Runner) RunCtx(ctx context.Context, n int, mode sim.Mode, cfg sim.Config) (*Litmus7Result, error) {
-	start := time.Now()
+	start := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
 	simRes, err := lr.runner.RunSyncedCtx(ctx, n, mode, cfg)
 	if err != nil {
 		return nil, err
@@ -109,7 +109,7 @@ func (lr *Litmus7Runner) RunCtx(ctx context.Context, n int, mode sim.Mode, cfg s
 		lr.hist.observe(simRes, iter)
 	}
 	lr.hist.materializeInto(res.Histogram)
-	res.Wall = time.Since(start)
+	res.Wall = time.Since(start) //nodeterminism:allow wall-clock telemetry; never feeds results
 	return res, nil
 }
 
@@ -131,7 +131,7 @@ func RunLitmus7Batch(t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Out
 // cfg, workers) regardless of scheduling. Trace, when enabled, is the
 // first worker's.
 func RunLitmus7BatchCtx(ctx context.Context, t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome, cfg sim.Config, workers int) (*Litmus7Result, error) {
-	start := time.Now()
+	start := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
 	ct, err := sim.Compile(t)
 	if err != nil {
 		return nil, err
@@ -190,6 +190,6 @@ func RunLitmus7BatchCtx(ctx context.Context, t *litmus.Test, n int, mode sim.Mod
 		merged.merge(runners[w].hist)
 	}
 	merged.materializeInto(out.Histogram)
-	out.Wall = time.Since(start)
+	out.Wall = time.Since(start) //nodeterminism:allow wall-clock telemetry; never feeds results
 	return out, nil
 }

@@ -1,0 +1,52 @@
+package litmus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseRoundTrip drives the litmus7-format parser with arbitrary
+// input. Two properties must hold for every input:
+//
+//   - Parse never panics — malformed input is rejected with an error;
+//   - accepted input round-trips: Format's rendering re-parses, and a
+//     second Format is byte-identical to the first (Format output is a
+//     fixed point, i.e. one parse fully normalizes a test).
+//
+// The seed corpus is the full testdata/suite, so `go test` (which runs
+// the seeds as ordinary cases) already exercises every construct the
+// suite uses; `make fuzz` explores beyond it.
+func FuzzParseRoundTrip(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "suite", "*.litmus"))
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no suite seeds: %v", err)
+	}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	// Hand-picked shapes the suite underrepresents: final-memory
+	// conditions, fences, and near-miss malformed headers.
+	f.Add("X86 tiny\n{ x=0; }\n P0          ;\n MOV [x],$1  ;\nexists (x=1)\n")
+	f.Add("X86 fenced\n{ x=0; y=0; }\n P0          | P1          ;\n MOV [x],$1  | MOV [y],$1  ;\n MFENCE      | MFENCE      ;\n MOV EAX,[y] | MOV EAX,[x] ;\nexists (0:EAX=0 /\\ 1:EAX=0)\n")
+	f.Add("X86\n{}\nexists ()")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		tc, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panicking is the bug
+		}
+		printed := Format(tc)
+		tc2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\ninput:\n%s\nformatted:\n%s", err, src, printed)
+		}
+		if again := Format(tc2); again != printed {
+			t.Fatalf("Format is not a fixed point\nfirst:\n%s\nsecond:\n%s", printed, again)
+		}
+	})
+}

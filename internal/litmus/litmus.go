@@ -286,16 +286,51 @@ func (t *Test) StoreValues(loc Loc) []int64 {
 	return vals
 }
 
+// ValidationError is a structural validation failure that carries the
+// position of the offending construct: Thread/Instr point at an
+// instruction, Cond at an index into the target's condition list. Absent
+// coordinates are -1. Parse augments the position with the source line of
+// the construct, so file-level tooling (perple-lint) reports exact
+// locations instead of silently accepting malformed tests.
+type ValidationError struct {
+	Test   string
+	Thread int
+	Instr  int
+	Cond   int
+	Msg    string
+}
+
+func (e *ValidationError) Error() string {
+	pos := ""
+	switch {
+	case e.Thread >= 0 && e.Instr >= 0:
+		pos = fmt.Sprintf("thread %d instr %d: ", e.Thread, e.Instr)
+	case e.Thread >= 0:
+		pos = fmt.Sprintf("thread %d: ", e.Thread)
+	case e.Cond >= 0:
+		pos = fmt.Sprintf("condition %d: ", e.Cond)
+	}
+	return fmt.Sprintf("litmus: %s: %s%s", e.Test, pos, e.Msg)
+}
+
+func (t *Test) verr(thread, instr, cond int, format string, args ...any) error {
+	return &ValidationError{Test: t.Name, Thread: thread, Instr: instr, Cond: cond,
+		Msg: fmt.Sprintf(format, args...)}
+}
+
 // Validate checks structural well-formedness: at least one thread, positive
-// store values, loads with non-negative registers, no two stores of the
-// same value to the same location (required for value uniqueness), and a
-// target outcome whose conditions reference existing load registers.
+// store values, loads with non-negative registers that each register is
+// written at most once per thread, no two stores of the same value to the
+// same location (required for value uniqueness), and a target outcome
+// whose conditions reference existing load registers and referenced
+// locations. Failures are *ValidationError values carrying the offending
+// thread/instruction/condition position.
 func (t *Test) Validate() error {
 	if t.Name == "" {
-		return fmt.Errorf("litmus: test has no name")
+		return &ValidationError{Test: "?", Thread: -1, Instr: -1, Cond: -1, Msg: "test has no name"}
 	}
 	if len(t.Threads) == 0 {
-		return fmt.Errorf("litmus: %s: test has no threads", t.Name)
+		return t.verr(-1, -1, -1, "test has no threads")
 	}
 	type locVal struct {
 		loc Loc
@@ -304,32 +339,37 @@ func (t *Test) Validate() error {
 	storeSeen := map[locVal]bool{}
 	for ti, th := range t.Threads {
 		if len(th.Instrs) == 0 {
-			return fmt.Errorf("litmus: %s: thread %d is empty", t.Name, ti)
+			return t.verr(ti, -1, -1, "thread is empty")
 		}
+		regSeen := map[int]bool{}
 		for ii, in := range th.Instrs {
 			switch in.Kind {
 			case OpStore:
 				if in.Value <= 0 {
-					return fmt.Errorf("litmus: %s: thread %d instr %d stores non-positive value %d", t.Name, ti, ii, in.Value)
+					return t.verr(ti, ii, -1, "stores non-positive value %d", in.Value)
 				}
 				if in.Loc == "" {
-					return fmt.Errorf("litmus: %s: thread %d instr %d stores to empty location", t.Name, ti, ii)
+					return t.verr(ti, ii, -1, "stores to empty location")
 				}
 				key := locVal{in.Loc, in.Value}
 				if storeSeen[key] {
-					return fmt.Errorf("litmus: %s: duplicate store of %d to [%s]; store values must be unique per location", t.Name, in.Value, in.Loc)
+					return t.verr(ti, ii, -1, "duplicate store of %d to [%s]; store values must be unique per location", in.Value, in.Loc)
 				}
 				storeSeen[key] = true
 			case OpLoad:
 				if in.Reg < 0 {
-					return fmt.Errorf("litmus: %s: thread %d instr %d loads into negative register", t.Name, ti, ii)
+					return t.verr(ti, ii, -1, "loads into negative register")
 				}
 				if in.Loc == "" {
-					return fmt.Errorf("litmus: %s: thread %d instr %d loads from empty location", t.Name, ti, ii)
+					return t.verr(ti, ii, -1, "loads from empty location")
 				}
+				if regSeen[in.Reg] {
+					return t.verr(ti, ii, -1, "duplicate register write: r%d is loaded twice in this thread", in.Reg)
+				}
+				regSeen[in.Reg] = true
 			case OpFence:
 			default:
-				return fmt.Errorf("litmus: %s: thread %d instr %d has invalid kind %d", t.Name, ti, ii, in.Kind)
+				return t.verr(ti, ii, -1, "invalid instruction kind %d", in.Kind)
 			}
 		}
 	}
@@ -342,27 +382,34 @@ func (t *Test) Validate() error {
 
 func (t *Test) validateOutcome(o Outcome, regs []int) error {
 	if len(o.Conds) == 0 {
-		return fmt.Errorf("litmus: %s: outcome has no conditions", t.Name)
+		return t.verr(-1, -1, -1, "outcome has no conditions")
+	}
+	locs := map[Loc]bool{}
+	for _, l := range t.Locs() {
+		locs[l] = true
 	}
 	seen := map[[2]int]bool{}
 	memSeen := map[Loc]bool{}
-	for _, c := range o.Conds {
+	for ci, c := range o.Conds {
 		if c.IsMem() {
+			if !locs[c.Loc] {
+				return t.verr(-1, -1, ci, "outcome references undefined location [%s]", c.Loc)
+			}
 			if memSeen[c.Loc] {
-				return fmt.Errorf("litmus: %s: outcome constrains [%s] twice", t.Name, c.Loc)
+				return t.verr(-1, -1, ci, "outcome constrains [%s] twice", c.Loc)
 			}
 			memSeen[c.Loc] = true
 			continue
 		}
 		if c.Thread < 0 || c.Thread >= len(t.Threads) {
-			return fmt.Errorf("litmus: %s: outcome condition references thread %d of %d", t.Name, c.Thread, len(t.Threads))
+			return t.verr(-1, -1, ci, "outcome condition references thread %d of %d", c.Thread, len(t.Threads))
 		}
 		if c.Reg < 0 || c.Reg >= regs[c.Thread] {
-			return fmt.Errorf("litmus: %s: outcome condition references r%d of thread %d (has %d registers)", t.Name, c.Reg, c.Thread, regs[c.Thread])
+			return t.verr(-1, -1, ci, "outcome condition references r%d of thread %d (has %d registers)", c.Reg, c.Thread, regs[c.Thread])
 		}
 		key := [2]int{c.Thread, c.Reg}
 		if seen[key] {
-			return fmt.Errorf("litmus: %s: outcome constrains %d:r%d twice", t.Name, c.Thread, c.Reg)
+			return t.verr(-1, -1, ci, "outcome constrains %d:r%d twice", c.Thread, c.Reg)
 		}
 		seen[key] = true
 	}

@@ -328,6 +328,18 @@ func TestValidateRejects(t *testing.T) {
 				Target: outcome(rc(0, 0, 0), rc(0, 0, 1))},
 			"twice",
 		},
+		{
+			"duplicate register write",
+			&Test{Name: "t", Threads: threads([]Instr{Load(0, "x"), Load(0, "y"), Store("z", 1)}),
+				Target: outcome(rc(0, 0, 0))},
+			"duplicate register write",
+		},
+		{
+			"undefined outcome location",
+			&Test{Name: "t", Threads: threads([]Instr{Load(0, "x"), Store("y", 1)}),
+				Target: outcome(Cond{Loc: "q", Value: 1})},
+			"undefined location",
+		},
 	}
 	for _, c := range cases {
 		err := c.test.Validate()

@@ -1,10 +1,18 @@
 package litmus
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
+
+// srcLine is one non-empty input line with its 1-based source position,
+// so parse and validation errors can point at the offending line.
+type srcLine struct {
+	num  int
+	text string
+}
 
 // Parse reads a litmus test in a litmus7-style x86 text format:
 //
@@ -23,6 +31,10 @@ import (
 // may constrain registers (`0:EAX=1`) or final memory (`[x]=2` or `x=2`),
 // joined with `/\`. Both `exists (...)` and `final (...)` introduce the
 // target outcome.
+//
+// Errors carry the source line of the offending construct, including
+// validation failures (undefined registers or locations, duplicate
+// register writes), so nothing malformed is silently accepted.
 func Parse(src string) (*Test, error) {
 	lines := splitLines(src)
 	if len(lines) == 0 {
@@ -33,54 +45,59 @@ func Parse(src string) (*Test, error) {
 
 	// Header: "X86 name" (the arch token is accepted and ignored beyond
 	// x86 variants).
-	fields := strings.Fields(lines[i])
+	fields := strings.Fields(lines[i].text)
 	if len(fields) < 2 {
-		return nil, fmt.Errorf("litmus: line 1: want header %q, got %q", "X86 <name>", lines[i])
+		return nil, fmt.Errorf("litmus: line %d: want header %q, got %q", lines[i].num, "X86 <name>", lines[i].text)
 	}
 	arch := strings.ToUpper(fields[0])
 	if arch != "X86" && arch != "X86_64" {
-		return nil, fmt.Errorf("litmus: unsupported architecture %q (want X86)", fields[0])
+		return nil, fmt.Errorf("litmus: line %d: unsupported architecture %q (want X86)", lines[i].num, fields[0])
 	}
 	t.Name = fields[1]
 	i++
 
 	// Optional quoted doc line(s).
-	for i < len(lines) && strings.HasPrefix(lines[i], "\"") {
-		t.Doc = strings.Trim(lines[i], "\"")
+	for i < len(lines) && strings.HasPrefix(lines[i].text, "\"") {
+		if doc, err := strconv.Unquote(lines[i].text); err == nil {
+			t.Doc = doc
+		} else {
+			t.Doc = strings.Trim(lines[i].text, "\"")
+		}
 		i++
 	}
 
 	// Init block: { x=0; y=0; } possibly spanning lines.
-	if i >= len(lines) || !strings.HasPrefix(lines[i], "{") {
+	if i >= len(lines) || !strings.HasPrefix(lines[i].text, "{") {
 		return nil, fmt.Errorf("litmus: missing init block { ... }")
 	}
+	initLine := lines[i].num
 	var initText strings.Builder
 	for ; i < len(lines); i++ {
-		initText.WriteString(lines[i])
+		initText.WriteString(lines[i].text)
 		initText.WriteString(" ")
-		if strings.Contains(lines[i], "}") {
+		if strings.Contains(lines[i].text, "}") {
 			i++
 			break
 		}
 	}
 	if err := parseInit(initText.String(), t); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("litmus: line %d: %w", initLine, err)
 	}
 
 	// Thread header row: P0 | P1 | ... ;
 	if i >= len(lines) {
 		return nil, fmt.Errorf("litmus: missing thread header row")
 	}
-	hdr := strings.TrimSuffix(lines[i], ";")
+	hdr := strings.TrimSuffix(lines[i].text, ";")
 	cols := splitCols(hdr)
 	nThreads := len(cols)
 	if nThreads == 0 {
-		return nil, fmt.Errorf("litmus: empty thread header row %q", lines[i])
+		return nil, fmt.Errorf("litmus: line %d: empty thread header row %q", lines[i].num, lines[i].text)
 	}
 	for ci, c := range cols {
 		want := fmt.Sprintf("P%d", ci)
 		if !strings.EqualFold(strings.TrimSpace(c), want) {
-			return nil, fmt.Errorf("litmus: thread header column %d is %q, want %q", ci, strings.TrimSpace(c), want)
+			return nil, fmt.Errorf("litmus: line %d: thread header column %d is %q, want %q", lines[i].num, ci, strings.TrimSpace(c), want)
 		}
 	}
 	t.Threads = make([]Thread, nThreads)
@@ -90,10 +107,12 @@ func Parse(src string) (*Test, error) {
 	}
 	i++
 
-	// Instruction rows until the condition line.
+	// Instruction rows until the condition line. instrLine[t][k] is the
+	// source line of thread t's k-th instruction, for error positions.
+	instrLine := make([][]int, nThreads)
 	for ; i < len(lines); i++ {
 		line := lines[i]
-		low := strings.ToLower(line)
+		low := strings.ToLower(line.text)
 		if strings.HasPrefix(low, "exists") || strings.HasPrefix(low, "final") || strings.HasPrefix(low, "forall") {
 			break
 		}
@@ -103,10 +122,10 @@ func Parse(src string) (*Test, error) {
 			// accepted and ignored.
 			continue
 		}
-		row := strings.TrimSuffix(line, ";")
+		row := strings.TrimSuffix(line.text, ";")
 		cells := splitCols(row)
 		if len(cells) != nThreads {
-			return nil, fmt.Errorf("litmus: instruction row %q has %d columns, want %d", line, len(cells), nThreads)
+			return nil, fmt.Errorf("litmus: line %d: instruction row %q has %d columns, want %d", line.num, line.text, len(cells), nThreads)
 		}
 		for ti, cell := range cells {
 			cell = strings.TrimSpace(cell)
@@ -115,9 +134,10 @@ func Parse(src string) (*Test, error) {
 			}
 			in, err := parseInstr(cell, regNames[ti])
 			if err != nil {
-				return nil, fmt.Errorf("litmus: thread %d: %v", ti, err)
+				return nil, fmt.Errorf("litmus: line %d: thread %d: %v", line.num, ti, err)
 			}
 			t.Threads[ti].Instrs = append(t.Threads[ti].Instrs, in)
+			instrLine[ti] = append(instrLine[ti], line.num)
 		}
 	}
 
@@ -125,22 +145,38 @@ func Parse(src string) (*Test, error) {
 	if i >= len(lines) {
 		return nil, fmt.Errorf("litmus: missing exists/final condition")
 	}
-	cond := strings.Join(lines[i:], " ")
-	target, err := parseCondition(cond, regNames)
+	condLine := lines[i].num
+	parts := make([]string, 0, len(lines)-i)
+	for _, l := range lines[i:] {
+		parts = append(parts, l.text)
+	}
+	target, err := parseCondition(strings.Join(parts, " "), regNames)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("litmus: line %d: %w", condLine, err)
 	}
 	t.Target = target
 
 	if err := t.Validate(); err != nil {
+		// Point the error at the offending source line when the
+		// validation failure names a construct the parser located.
+		var verr *ValidationError
+		if errors.As(err, &verr) {
+			switch {
+			case verr.Thread >= 0 && verr.Instr >= 0 &&
+				verr.Thread < len(instrLine) && verr.Instr < len(instrLine[verr.Thread]):
+				return nil, fmt.Errorf("litmus: line %d: %w", instrLine[verr.Thread][verr.Instr], err)
+			case verr.Cond >= 0:
+				return nil, fmt.Errorf("litmus: line %d: %w", condLine, err)
+			}
+		}
 		return nil, err
 	}
 	return t, nil
 }
 
-func splitLines(src string) []string {
-	var out []string
-	for _, raw := range strings.Split(src, "\n") {
+func splitLines(src string) []srcLine {
+	var out []srcLine
+	for n, raw := range strings.Split(src, "\n") {
 		line := raw
 		if idx := strings.Index(line, "#"); idx >= 0 {
 			line = line[:idx]
@@ -149,7 +185,7 @@ func splitLines(src string) []string {
 		if line == "" {
 			continue
 		}
-		out = append(out, line)
+		out = append(out, srcLine{num: n + 1, text: line})
 	}
 	return out
 }
@@ -176,16 +212,17 @@ func parseInit(src string, t *Test) error {
 		}
 		eq := strings.Index(item, "=")
 		if eq < 0 {
-			return fmt.Errorf("litmus: init item %q: want loc=value", item)
+			return fmt.Errorf("init item %q: want loc=value", item)
 		}
-		loc := strings.TrimSpace(item[:eq])
-		loc = strings.TrimPrefix(loc, "[")
-		loc = strings.TrimSuffix(loc, "]")
+		loc, err := parseLoc(item[:eq])
+		if err != nil {
+			return fmt.Errorf("init item %q: %v", item, err)
+		}
 		v, err := strconv.ParseInt(strings.TrimSpace(item[eq+1:]), 10, 64)
 		if err != nil {
-			return fmt.Errorf("litmus: init item %q: %v", item, err)
+			return fmt.Errorf("init item %q: %v", item, err)
 		}
-		t.Init[Loc(loc)] = v
+		t.Init[loc] = v
 	}
 	return nil
 }
@@ -207,7 +244,10 @@ func parseInstr(cell string, regs map[string]int) (Instr, error) {
 	src := strings.TrimSpace(rest[comma+1:])
 	switch {
 	case strings.HasPrefix(dst, "["): // store: MOV [loc],$imm
-		loc := strings.TrimSuffix(strings.TrimPrefix(dst, "["), "]")
+		loc, err := parseLoc(dst)
+		if err != nil {
+			return Instr{}, fmt.Errorf("store %q: %v", cell, err)
+		}
 		if !strings.HasPrefix(src, "$") {
 			return Instr{}, fmt.Errorf("store source %q must be an immediate $n", src)
 		}
@@ -215,14 +255,43 @@ func parseInstr(cell string, regs map[string]int) (Instr, error) {
 		if err != nil {
 			return Instr{}, fmt.Errorf("store immediate %q: %v", src, err)
 		}
-		return Store(Loc(loc), v), nil
+		return Store(loc, v), nil
 	case strings.HasPrefix(src, "["): // load: MOV REG,[loc]
-		loc := strings.TrimSuffix(strings.TrimPrefix(src, "["), "]")
+		loc, err := parseLoc(src)
+		if err != nil {
+			return Instr{}, fmt.Errorf("load %q: %v", cell, err)
+		}
+		if dst == "" {
+			return Instr{}, fmt.Errorf("load %q has no destination register", cell)
+		}
 		r := regIndex(regs, strings.ToUpper(dst))
-		return Load(r, Loc(loc)), nil
+		return Load(r, loc), nil
 	default:
 		return Instr{}, fmt.Errorf("unsupported MOV form %q", cell)
 	}
+}
+
+// parseLoc normalizes a location written as "x", "[x]", or with layout
+// whitespace around the name. Whitespace is layout, never identity —
+// "[ x]" and "[x]" must be the same location or Format output would not
+// round-trip — so a name still containing whitespace (or syntax
+// characters) after trimming is rejected.
+func parseLoc(s string) (Loc, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", fmt.Errorf("empty location")
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+		default:
+			return "", fmt.Errorf("invalid location name %q", s)
+		}
+	}
+	return Loc(s), nil
 }
 
 // regIndex maps a register name to a dense per-thread index, allocating in
@@ -245,7 +314,7 @@ func parseCondition(src string, regNames []map[string]int) (Outcome, error) {
 	case strings.HasPrefix(low, "final"):
 		src = strings.TrimSpace(src[len("final"):])
 	default:
-		return Outcome{}, fmt.Errorf("litmus: unsupported condition form %q (want exists/final)", src)
+		return Outcome{}, fmt.Errorf("unsupported condition form %q (want exists/final)", src)
 	}
 	src = strings.TrimPrefix(src, "(")
 	src = strings.TrimSuffix(src, ")")
@@ -257,34 +326,37 @@ func parseCondition(src string, regNames []map[string]int) (Outcome, error) {
 		}
 		eq := strings.Index(part, "=")
 		if eq < 0 {
-			return Outcome{}, fmt.Errorf("litmus: condition %q: want lhs=value", part)
+			return Outcome{}, fmt.Errorf("condition %q: want lhs=value", part)
 		}
 		lhs := strings.TrimSpace(part[:eq])
 		v, err := strconv.ParseInt(strings.TrimSpace(part[eq+1:]), 10, 64)
 		if err != nil {
-			return Outcome{}, fmt.Errorf("litmus: condition %q: %v", part, err)
+			return Outcome{}, fmt.Errorf("condition %q: %v", part, err)
 		}
 		if colon := strings.Index(lhs, ":"); colon >= 0 {
 			ti, err := strconv.Atoi(strings.TrimSpace(lhs[:colon]))
 			if err != nil {
-				return Outcome{}, fmt.Errorf("litmus: condition %q: bad thread id: %v", part, err)
+				return Outcome{}, fmt.Errorf("condition %q: bad thread id: %v", part, err)
 			}
 			if ti < 0 || ti >= len(regNames) {
-				return Outcome{}, fmt.Errorf("litmus: condition %q: thread %d out of range", part, ti)
+				return Outcome{}, fmt.Errorf("condition %q: thread %d out of range", part, ti)
 			}
 			reg := strings.ToUpper(strings.TrimSpace(lhs[colon+1:]))
 			idx, ok := regNames[ti][reg]
 			if !ok {
-				return Outcome{}, fmt.Errorf("litmus: condition %q: thread %d never loads into %s", part, ti, reg)
+				return Outcome{}, fmt.Errorf("condition %q: thread %d never loads into %s", part, ti, reg)
 			}
 			out.Conds = append(out.Conds, Cond{Thread: ti, Reg: idx, Value: v})
 		} else {
-			loc := strings.TrimSuffix(strings.TrimPrefix(lhs, "["), "]")
-			out.Conds = append(out.Conds, Cond{Loc: Loc(loc), Value: v})
+			loc, err := parseLoc(lhs)
+			if err != nil {
+				return Outcome{}, fmt.Errorf("condition %q: %v", part, err)
+			}
+			out.Conds = append(out.Conds, Cond{Loc: loc, Value: v})
 		}
 	}
 	if len(out.Conds) == 0 {
-		return Outcome{}, fmt.Errorf("litmus: empty condition")
+		return Outcome{}, fmt.Errorf("empty condition")
 	}
-	return out, nil
+	return Outcome{Conds: out.Conds}, nil
 }

@@ -231,3 +231,49 @@ exists (0:EAX=0 /\ 1:EAX=0)
 		t.Errorf("locations line leaked into instructions: %v", test.Threads[0].Instrs)
 	}
 }
+
+// TestParseErrorPositions checks that parse and validation failures point
+// at the offending source line instead of silently accepting the test.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name, src, wantLine, wantMsg string
+	}{
+		{
+			"duplicate register write",
+			"X86 dup\n{ x=0; }\n P0 ;\n MOV EAX,[x] ;\n MOV EAX,[y] ;\nexists (0:EAX=0)\n",
+			"line 5", "duplicate register write",
+		},
+		{
+			"undefined condition register",
+			"X86 badreg\n{ x=0; }\n P0 ;\n MOV EAX,[x] ;\nexists (0:EBX=0)\n",
+			"line 5", "never loads",
+		},
+		{
+			"undefined condition location",
+			"X86 badloc\n{ x=0; }\n P0 | P1 ;\n MOV [x],$1 | MOV EAX,[x] ;\nexists ([q]=1)\n",
+			"line 5", "undefined location",
+		},
+		{
+			"empty condition location",
+			"X86 emptyloc\n{ x=0; }\n P0 | P1 ;\n MOV [x],$1 | MOV EAX,[x] ;\nexists (=1)\n",
+			"line 5", "empty location",
+		},
+		{
+			"bad instruction",
+			"X86 badinstr\n{ x=0; }\n P0 ;\n XCHG [x],EAX ;\nexists (x=0)\n",
+			"line 4", "unsupported instruction",
+		},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: Parse accepted malformed input", c.name)
+			continue
+		}
+		for _, want := range []string{c.wantLine, c.wantMsg} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q does not mention %q", c.name, err, want)
+			}
+		}
+	}
+}

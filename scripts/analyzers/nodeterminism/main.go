@@ -1,0 +1,292 @@
+// Command nodeterminism is the repo's determinism lint: the simulator's
+// core promise is that equal seeds produce equal results, so the packages
+// on the result path must not read ambient nondeterminism. It flags, in
+// the package directories given as arguments:
+//
+//   - calls to time.Now / time.Since / time.Until — wall-clock reads;
+//     result-affecting code must count ticks, not nanoseconds;
+//   - calls to math/rand's global source (rand.Intn, rand.Int63, ...) —
+//     the process-wide generator defeats seeded reproducibility; only
+//     rand.New / rand.NewSource / rand.NewZipf constructors are allowed;
+//   - output emitted inside a `range` over a map — Go randomizes map
+//     iteration order, so anything printed or formatted per entry must
+//     sort the keys first.
+//
+// A finding is suppressed by a trailing or preceding comment of the form
+//
+//	//nodeterminism:allow <reason>
+//
+// with a non-empty reason; the harness's wall-clock telemetry fields use
+// this (they time external-tool-style runs and never feed results).
+//
+// The checker is a standalone AST walker on purpose: the build
+// environment is offline, so golang.org/x/tools (go/analysis, go/packages)
+// is unavailable, and full type information with it. The map rule is
+// therefore an under-approximation — it only recognizes values whose map
+// type is visible in the same function (make(map...), map literals, var
+// declarations, parameters) — which keeps it free of false positives at
+// the cost of missing maps that arrive behind named types or interfaces.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or parse errors.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: nodeterminism <package-dir> ...")
+		return 2
+	}
+	fset := token.NewFileSet()
+	var findings []finding
+	for _, dir := range args {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "nodeterminism: %v\n", err)
+			return 2
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(stderr, "nodeterminism: %v\n", err)
+				return 2
+			}
+			findings = append(findings, checkFile(fset, file)...)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "%s: nodeterminism: %s\n", f.pos, f.msg)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+// randConstructors are the math/rand package-level functions that build
+// seeded generators rather than consuming the global source.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// checkFile runs all three rules over one parsed file.
+func checkFile(fset *token.FileSet, file *ast.File) []finding {
+	timeName, randName := importNames(file)
+	allowed := allowLines(fset, file)
+	var findings []finding
+	report := func(pos token.Pos, msg string) {
+		p := fset.Position(pos)
+		if allowed[p.Line] || allowed[p.Line-1] {
+			return
+		}
+		findings = append(findings, finding{pos: p, msg: msg})
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			pkg, fn := packageCall(n)
+			switch {
+			case pkg == "":
+				// Not a pkg.Fn call (or time/rand not imported).
+			case pkg == timeName && (fn == "Now" || fn == "Since" || fn == "Until"):
+				report(n.Pos(), fmt.Sprintf("call to time.%s: wall-clock reads make seeded runs unreproducible; count ticks instead", fn))
+			case pkg == randName && !randConstructors[fn]:
+				report(n.Pos(), fmt.Sprintf("global math/rand source via rand.%s: use rand.New(rand.NewSource(seed)) so equal seeds replay", fn))
+			}
+		case *ast.FuncDecl:
+			findings = append(findings, checkMapRanges(fset, n, allowed)...)
+		}
+		return true
+	})
+	return findings
+}
+
+// importNames resolves the local names of the "time" and "math/rand"
+// imports (honoring renames); "" means not imported.
+func importNames(file *ast.File) (timeName, randName string) {
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch path {
+		case "time":
+			timeName = "time"
+			if name != "" {
+				timeName = name
+			}
+		case "math/rand":
+			randName = "rand"
+			if name != "" {
+				randName = name
+			}
+		}
+	}
+	return
+}
+
+// packageCall decomposes pkg.Fn(...) calls; the Obj == nil check keeps a
+// local variable that shadows the package name from matching (the parser
+// resolves file-local objects, and package identifiers stay unresolved).
+func packageCall(call *ast.CallExpr) (pkg, fn string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Obj != nil {
+		return "", ""
+	}
+	return id.Name, sel.Sel.Name
+}
+
+// allowLines collects the line numbers carrying a
+// "//nodeterminism:allow <reason>" suppression (reason required).
+func allowLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//nodeterminism:allow")
+			if ok && strings.TrimSpace(rest) != "" {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// checkMapRanges flags output emitted inside `range` over a
+// function-locally-visible map.
+func checkMapRanges(fset *token.FileSet, fn *ast.FuncDecl, allowed map[int]bool) []finding {
+	if fn.Body == nil {
+		return nil
+	}
+	maps := localMapVars(fn)
+	var findings []finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !rangesOverMap(rng.X, maps) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, f := packageCall(call); pkg == "fmt" && strings.Contains(f, "rint") {
+				p := fset.Position(call.Pos())
+				if !allowed[p.Line] && !allowed[p.Line-1] {
+					findings = append(findings, finding{pos: p,
+						msg: fmt.Sprintf("fmt.%s inside range over a map: iteration order is randomized; sort the keys first", f)})
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return findings
+}
+
+// localMapVars gathers names whose map type is visible inside fn:
+// parameters, receivers, var declarations, and := bindings of map
+// literals or make(map...).
+func localMapVars(fn *ast.FuncDecl) map[string]bool {
+	maps := map[string]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if _, ok := f.Type.(*ast.MapType); ok {
+				for _, name := range f.Names {
+					maps[name.Name] = true
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			if _, ok := n.Type.(*ast.MapType); ok {
+				for _, name := range n.Names {
+					maps[name.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !isMapExpr(rhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					maps[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return maps
+}
+
+// isMapExpr recognizes expressions that are syntactically maps:
+// map literals and make(map[...]...).
+func isMapExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		_, ok := e.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			_, ok := e.Args[0].(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}
+
+// rangesOverMap reports whether the ranged expression is a known map
+// variable or an inline map literal.
+func rangesOverMap(x ast.Expr, maps map[string]bool) bool {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return maps[x.Name]
+	case *ast.CompositeLit:
+		_, ok := x.Type.(*ast.MapType)
+		return ok
+	}
+	return false
+}

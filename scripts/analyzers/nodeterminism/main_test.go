@@ -1,0 +1,139 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// lint parses one source snippet and returns the findings' messages.
+func lint(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, f := range checkFile(fset, file) {
+		msgs = append(msgs, f.msg)
+	}
+	return msgs
+}
+
+func wantFinding(t *testing.T, msgs []string, substr string) {
+	t.Helper()
+	for _, m := range msgs {
+		if strings.Contains(m, substr) {
+			return
+		}
+	}
+	t.Errorf("no finding containing %q in %v", substr, msgs)
+}
+
+func TestFlagsWallClock(t *testing.T) {
+	msgs := lint(t, `package p
+import "time"
+func f() time.Duration { start := time.Now(); return time.Since(start) }
+`)
+	if len(msgs) != 2 {
+		t.Fatalf("findings = %v, want 2", msgs)
+	}
+	wantFinding(t, msgs, "time.Now")
+	wantFinding(t, msgs, "time.Since")
+}
+
+func TestFlagsGlobalRand(t *testing.T) {
+	msgs := lint(t, `package p
+import "math/rand"
+func f() int { return rand.Intn(10) }
+func g() *rand.Rand { return rand.New(rand.NewSource(1)) }
+`)
+	if len(msgs) != 1 {
+		t.Fatalf("findings = %v, want only the global-source call", msgs)
+	}
+	wantFinding(t, msgs, "rand.Intn")
+}
+
+func TestFlagsRenamedImport(t *testing.T) {
+	msgs := lint(t, `package p
+import mr "math/rand"
+func f() int64 { return mr.Int63() }
+`)
+	wantFinding(t, msgs, "rand.Int63")
+}
+
+func TestShadowedPackageNameIsClean(t *testing.T) {
+	msgs := lint(t, `package p
+type clock struct{}
+func (clock) Now() int { return 0 }
+func f() int { time := clock{}; return time.Now() }
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("findings = %v, want none for a shadowing local", msgs)
+	}
+}
+
+func TestFlagsOutputInMapRange(t *testing.T) {
+	msgs := lint(t, `package p
+import "fmt"
+func f(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+func g() {
+	counts := make(map[string]int)
+	for k := range counts {
+		fmt.Println(k)
+	}
+}
+`)
+	if len(msgs) != 2 {
+		t.Fatalf("findings = %v, want 2", msgs)
+	}
+	wantFinding(t, msgs, "iteration order is randomized")
+}
+
+func TestSortedMapDrainIsClean(t *testing.T) {
+	msgs := lint(t, `package p
+import (
+	"fmt"
+	"sort"
+)
+func f(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("findings = %v, want none for the sort-the-keys pattern", msgs)
+	}
+}
+
+func TestAllowSuppression(t *testing.T) {
+	msgs := lint(t, `package p
+import "time"
+func f() time.Time {
+	return time.Now() //nodeterminism:allow wall-clock telemetry only
+}
+func g() time.Time {
+	//nodeterminism:allow timing a subprocess, not a result
+	return time.Now()
+}
+func h() time.Time {
+	return time.Now() //nodeterminism:allow
+}
+`)
+	// The first two are suppressed; the reason-less third is not.
+	if len(msgs) != 1 {
+		t.Fatalf("findings = %v, want only the reason-less site", msgs)
+	}
+}
