@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet lint fuzz
+.PHONY: build test race bench vet lint fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,13 @@ lint: vet
 # as ordinary tests; this explores new inputs).
 fuzz:
 	$(GO) test ./internal/litmus -fuzz FuzzParseRoundTrip -fuzztime 30s
+
+# Long chaos soak: fault-injected loopback fleets under the race
+# detector (six fixed-seed rounds; CI runs the short variant). Seeds
+# are fixed per round, so a failure replays its exact fault schedule
+# on rerun.
+chaos:
+	$(GO) test ./internal/campaign -run TestChaos -race -count=1 -v -chaos.long
 
 # Capture the sim/counter core benchmarks into BENCH_simcore.json
 # (committed, so future PRs can diff the perf trajectory).

@@ -59,12 +59,14 @@ func main() {
 func run() error {
 	addr := flag.String("addr", ":8077", "listen address")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for per-campaign checkpoint files (empty disables checkpointing)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "snapshot every n completed jobs (0: every job)")
 	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "dispatch lease TTL before an unheartbeated shard requeues")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	srv := campaign.NewServer()
 	srv.LeaseTTL = *leaseTTL
+	srv.CheckpointEvery = *checkpointEvery
 	if *checkpointDir != "" {
 		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
 			return err

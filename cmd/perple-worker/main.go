@@ -49,6 +49,9 @@ func run() error {
 	leaseBatch := flag.Int("lease-batch", 0, "jobs pulled per lease call (default: -parallel)")
 	heartbeat := flag.Duration("heartbeat", 0, "lease heartbeat period (default: a third of the server's lease TTL)")
 	retries := flag.Int("retries", 5, "attempts per HTTP call before giving up")
+	backoff := flag.Duration("backoff", 200*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+	breakerFailures := flag.Int("breaker-failures", campaign.DefaultBreakerThreshold, "consecutive HTTP failures that open the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", campaign.DefaultBreakerCooldown, "how long an open circuit holds requests off")
 	flag.Parse()
 
 	if *campaignID == "" {
@@ -56,13 +59,16 @@ func run() error {
 	}
 
 	w := campaign.NewWorker(campaign.WorkerOptions{
-		BaseURL:        *server,
-		Campaign:       *campaignID,
-		Name:           *name,
-		Parallel:       *parallel,
-		LeaseBatch:     *leaseBatch,
-		HeartbeatEvery: *heartbeat,
-		MaxAttempts:    *retries,
+		BaseURL:          *server,
+		Campaign:         *campaignID,
+		Name:             *name,
+		Parallel:         *parallel,
+		LeaseBatch:       *leaseBatch,
+		HeartbeatEvery:   *heartbeat,
+		MaxAttempts:      *retries,
+		BackoffBase:      *backoff,
+		BreakerThreshold: *breakerFailures,
+		BreakerCooldown:  *breakerCooldown,
 	})
 
 	ctx, cancel := context.WithCancel(context.Background())

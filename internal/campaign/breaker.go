@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit-breaker defaults (worker HTTP client).
+const (
+	DefaultBreakerThreshold = 8
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+// breaker is a consecutive-failure circuit breaker for the worker's
+// HTTP client. After threshold consecutive failures the circuit opens
+// for cooldown: callers hold off instead of hammering a server that is
+// down or overloaded. When the cooldown lapses the circuit is
+// half-open — the next attempt is the probe; a probe failure re-opens
+// immediately, a success closes the circuit and clears the count.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	failures  int
+	openUntil time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// waitTime reports how long the caller must hold off before its next
+// attempt; zero means the circuit is closed (or half-open: probing is
+// allowed).
+func (b *breaker) waitTime(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.Before(b.openUntil) {
+		return b.openUntil.Sub(now)
+	}
+	return 0
+}
+
+// success closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+// failure records one failed exchange, opening the circuit at the
+// threshold. The count is left one short of the threshold so a failed
+// half-open probe re-opens immediately.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+		b.failures = b.threshold - 1
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second)
+
+	for i := 0; i < 2; i++ {
+		b.failure(now)
+		if hold := b.waitTime(now); hold != 0 {
+			t.Fatalf("circuit open after %d failures (threshold 3): hold %v", i+1, hold)
+		}
+	}
+	b.failure(now)
+	if hold := b.waitTime(now); hold != time.Second {
+		t.Fatalf("hold after threshold = %v, want full cooldown 1s", hold)
+	}
+	// Mid-cooldown the remaining time shrinks with the clock.
+	if hold := b.waitTime(now.Add(600 * time.Millisecond)); hold != 400*time.Millisecond {
+		t.Fatalf("mid-cooldown hold = %v, want 400ms", hold)
+	}
+	// Cooldown lapsed: half-open, probing allowed.
+	if hold := b.waitTime(now.Add(time.Second)); hold != 0 {
+		t.Fatalf("post-cooldown hold = %v, want 0 (half-open)", hold)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second)
+	for i := 0; i < 3; i++ {
+		b.failure(now)
+	}
+
+	// One failed probe after the cooldown must re-open immediately — not
+	// require another full threshold of failures.
+	probe := now.Add(2 * time.Second)
+	if hold := b.waitTime(probe); hold != 0 {
+		t.Fatalf("probe not allowed after cooldown: hold %v", hold)
+	}
+	b.failure(probe)
+	if hold := b.waitTime(probe); hold != time.Second {
+		t.Fatalf("hold after failed probe = %v, want full cooldown", hold)
+	}
+}
+
+func TestBreakerSuccessCloses(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second)
+	for i := 0; i < 3; i++ {
+		b.failure(now)
+	}
+
+	b.success()
+	if hold := b.waitTime(now); hold != 0 {
+		t.Fatalf("circuit still open after success: hold %v", hold)
+	}
+	// The consecutive count reset too: it takes a full threshold of new
+	// failures to open again.
+	b.failure(now)
+	b.failure(now)
+	if hold := b.waitTime(now); hold != 0 {
+		t.Fatalf("circuit reopened after only 2 post-success failures: hold %v", hold)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(0, 0)
+	if b.threshold != DefaultBreakerThreshold || b.cooldown != DefaultBreakerCooldown {
+		t.Fatalf("defaults = (%d, %v), want (%d, %v)",
+			b.threshold, b.cooldown, DefaultBreakerThreshold, DefaultBreakerCooldown)
+	}
+}

@@ -1,17 +1,35 @@
 package campaign
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
 )
 
-// checkpointVersion guards the snapshot format; a mismatch refuses to
-// resume rather than silently mis-merging.
-const checkpointVersion = 1
+// checkpointVersion guards the snapshot format; version 2 wraps the
+// snapshot in a CRC-carrying envelope so disk corruption is detected at
+// load instead of silently mis-merging. Version-1 snapshots (no
+// envelope) are still readable for migration.
+const checkpointVersion = 2
+
+// checkpointPrevSuffix names the rotated last-good snapshot kept beside
+// the active one. Every successful save moves the previous active file
+// here, so a snapshot that later turns out corrupt (bit rot, torn
+// write that slipped past fsync) has a verified predecessor to fall
+// back to — a resume then merely re-runs the handful of jobs completed
+// since, reaching identical totals.
+const checkpointPrevSuffix = ".prev"
+
+// ErrCheckpointCorrupt marks a snapshot whose bytes cannot be trusted:
+// undecodable JSON, a CRC mismatch, or an unreadable payload. Loaders
+// fall back to the rotated last-good snapshot when they see it.
+var ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
 
 // Checkpoint is the on-disk campaign snapshot: the (defaulted) spec that
 // generated the job list plus every completed job's full result. Because
@@ -25,10 +43,30 @@ type Checkpoint struct {
 	Done    []*JobResult `json:"done"`
 }
 
-// SaveCheckpoint writes the snapshot atomically (temp file + rename in
-// the destination directory), so a crash mid-write leaves the previous
-// snapshot intact. Done is stored sorted by job ID for stable diffs.
+// checkpointEnvelope is the version-2 file format: the compact-encoded
+// Checkpoint plus its IEEE CRC-32. The CRC is computed over the
+// compacted payload bytes so re-indentation (MarshalIndent at save,
+// whatever whitespace survives on disk at load) cannot perturb it.
+type checkpointEnvelope struct {
+	Version int             `json:"version"`
+	CRC32   uint32          `json:"crc32"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// SaveCheckpoint writes the snapshot durably and atomically on the real
+// filesystem; see SaveCheckpointFS.
 func SaveCheckpoint(path string, spec Spec, done map[int]*JobResult) error {
+	return SaveCheckpointFS(osCheckpointFS{}, path, spec, done)
+}
+
+// SaveCheckpointFS writes the snapshot through fsys: temp file in the
+// destination directory, fsync, rename over the active path, directory
+// sync. The previous active snapshot is rotated to path+".prev" first,
+// so there is always at most one unverified file — a crash at any point
+// leaves either the old snapshot, the new one, or (between the two
+// renames) only the rotated last-good copy, which LoadCheckpointFS
+// recovers. Done is stored sorted by job ID for stable diffs.
+func SaveCheckpointFS(fsys CheckpointFS, path string, spec Spec, done map[int]*JobResult) error {
 	cp := Checkpoint{Version: checkpointVersion, Spec: spec}
 	cp.Done = make([]*JobResult, 0, len(done))
 	for _, jr := range done {
@@ -36,44 +74,117 @@ func SaveCheckpoint(path string, spec Spec, done map[int]*JobResult) error {
 	}
 	sort.Slice(cp.Done, func(i, j int) bool { return cp.Done[i].JobID < cp.Done[j].JobID })
 
-	data, err := json.MarshalIndent(&cp, "", "  ")
+	payload, err := json.Marshal(&cp)
 	if err != nil {
 		return fmt.Errorf("campaign: encoding checkpoint: %w", err)
 	}
+	env := checkpointEnvelope{Version: checkpointVersion, CRC32: crc32.ChecksumIEEE(payload), Payload: payload}
+	data, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: encoding checkpoint: %w", err)
+	}
+
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("campaign: writing checkpoint: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("campaign: writing checkpoint: %w", err)
 	}
+	// fsync before rename: without it, a crash shortly after the rename
+	// can leave the new name pointing at a zero-length or torn file on
+	// journaled filesystems that reorder data behind metadata.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: syncing checkpoint: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("campaign: writing checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	// Rotate the current snapshot to last-good before installing the new
+	// one. ENOENT just means this is the first save.
+	if err := fsys.Rename(path, path+checkpointPrevSuffix); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("campaign: rotating checkpoint: %w", err)
+	}
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("campaign: committing checkpoint: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("campaign: syncing checkpoint directory: %w", err)
 	}
 	return nil
 }
 
-// LoadCheckpoint reads a snapshot and verifies it belongs to the given
-// spec: resuming a checkpoint from a different campaign would merge
-// unrelated shards, so any spec difference is an error rather than a
-// warning.
+// LoadCheckpoint reads a snapshot from the real filesystem; see
+// LoadCheckpointFS. Recovery from the rotated snapshot is transparent
+// here; callers that want to know use the FS variant.
 func LoadCheckpoint(path string, spec Spec) (map[int]*JobResult, error) {
-	data, err := os.ReadFile(path)
+	done, _, err := LoadCheckpointFS(osCheckpointFS{}, path, spec)
+	return done, err
+}
+
+// LoadCheckpointFS reads and verifies a snapshot through fsys. When the
+// active snapshot is corrupt (CRC mismatch, undecodable bytes) — or
+// missing while the rotated last-good one exists, the signature of a
+// crash between the two save renames — it falls back to path+".prev"
+// and reports recovered=true. A corrupt active snapshot with no usable
+// fallback is an error: silently restarting from scratch would hide
+// data loss from the operator.
+func LoadCheckpointFS(fsys CheckpointFS, path string, spec Spec) (done map[int]*JobResult, recovered bool, err error) {
+	done, err = loadCheckpointFile(fsys, path, spec)
+	if err == nil {
+		return done, false, nil
+	}
+	if !errors.Is(err, ErrCheckpointCorrupt) && !os.IsNotExist(err) {
+		// Spec mismatch, version from the future, duplicate jobs: the file
+		// is intact but wrong, and the rotated copy was written by the same
+		// campaign — falling back cannot help.
+		return nil, false, err
+	}
+	prev, prevErr := loadCheckpointFile(fsys, path+checkpointPrevSuffix, spec)
+	if prevErr == nil {
+		return prev, true, nil
+	}
+	// No usable fallback: surface the original failure (for a missing
+	// active file that is simply "fresh campaign", which callers detect
+	// with os.IsNotExist).
+	return nil, false, err
+}
+
+// loadCheckpointFile reads one snapshot file, verifying the CRC for
+// version-2 envelopes and accepting bare version-1 snapshots for
+// migration.
+func loadCheckpointFile(fsys CheckpointFS, path string, spec Spec) (map[int]*JobResult, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var cp Checkpoint
-	if err := json.Unmarshal(data, &cp); err != nil {
-		return nil, fmt.Errorf("campaign: decoding checkpoint %s: %w", path, err)
-	}
-	if cp.Version != checkpointVersion {
-		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	var env checkpointEnvelope
+	switch {
+	case json.Unmarshal(data, &env) == nil && env.Version == checkpointVersion && len(env.Payload) > 0:
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, env.Payload); err != nil {
+			return nil, fmt.Errorf("campaign: checkpoint %s payload: %v: %w", path, err, ErrCheckpointCorrupt)
+		}
+		if got := crc32.ChecksumIEEE(compact.Bytes()); got != env.CRC32 {
+			return nil, fmt.Errorf("campaign: checkpoint %s CRC mismatch (%08x on disk, %08x computed): %w",
+				path, env.CRC32, got, ErrCheckpointCorrupt)
+		}
+		if err := json.Unmarshal(env.Payload, &cp); err != nil {
+			return nil, fmt.Errorf("campaign: checkpoint %s payload: %v: %w", path, err, ErrCheckpointCorrupt)
+		}
+	case json.Unmarshal(data, &cp) == nil && cp.Version == 1:
+		// Legacy (pre-CRC) snapshot: accepted as-is for migration; the
+		// next save rewrites it in envelope form.
+	default:
+		if json.Unmarshal(data, &env) == nil && env.Version > checkpointVersion {
+			return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want ≤ %d", path, env.Version, checkpointVersion)
+		}
+		return nil, fmt.Errorf("campaign: checkpoint %s is not a decodable snapshot: %w", path, ErrCheckpointCorrupt)
 	}
 	if err := cp.Spec.Validate(); err != nil {
 		return nil, fmt.Errorf("campaign: checkpoint %s spec: %w", path, err)

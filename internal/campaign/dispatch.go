@@ -42,8 +42,9 @@ type Dispatcher struct {
 	q             *leaseQueue
 	results       *Results
 	done          map[int]*JobResult
+	mergedLease   map[int]int64 // job ID → lease nonce its merged upload carried
 	sinceSave     int
-	checkpointErr error
+	checkpointErr error // final-save failure; transient mid-run errors only count in metrics
 	finished      bool
 	cancelled     bool
 	finishCh      chan struct{}
@@ -65,13 +66,19 @@ func NewDispatcher(camp *Campaign, ttl time.Duration, opts Options) (*Dispatcher
 	if every <= 0 {
 		every = 1
 	}
+	if opts.CheckpointFS == nil {
+		opts.CheckpointFS = osCheckpointFS{}
+	}
 
 	done := map[int]*JobResult{}
 	if opts.CheckpointPath != "" {
-		restored, err := LoadCheckpoint(opts.CheckpointPath, camp.Spec)
+		restored, recovered, err := LoadCheckpointFS(opts.CheckpointFS, opts.CheckpointPath, camp.Spec)
 		switch {
 		case err == nil:
 			done = restored
+			if recovered {
+				metrics.CheckpointRecoveries.Add(1)
+			}
 		case os.IsNotExist(err):
 			// Fresh campaign.
 		default:
@@ -100,17 +107,18 @@ func NewDispatcher(camp *Campaign, ttl time.Duration, opts Options) (*Dispatcher
 	}
 
 	d := &Dispatcher{
-		camp:     camp,
-		opts:     opts,
-		ttl:      ttl,
-		every:    every,
-		now:      time.Now,
-		corpus:   buildCorpus(camp),
-		metrics:  metrics,
-		q:        newLeaseQueue(pending, ttl, camp.Spec.MaxRetries, time.Now),
-		results:  results,
-		done:     done,
-		finishCh: make(chan struct{}),
+		camp:        camp,
+		opts:        opts,
+		ttl:         ttl,
+		every:       every,
+		now:         time.Now,
+		corpus:      buildCorpus(camp),
+		metrics:     metrics,
+		q:           newLeaseQueue(pending, ttl, camp.Spec.MaxRetries, time.Now),
+		results:     results,
+		done:        done,
+		mergedLease: map[int]int64{},
+		finishCh:    make(chan struct{}),
 	}
 	metrics.JobsTotal.Store(int64(len(camp.jobs)))
 	metrics.JobsRestored.Store(int64(len(done)))
@@ -155,9 +163,10 @@ func (d *Dispatcher) Corpus() CorpusResponse {
 // (or the run was cancelled).
 func (d *Dispatcher) Finished() <-chan struct{} { return d.finishCh }
 
-// Outcome returns the merged results, the first checkpoint error if
-// any, and whether the run was cancelled. Valid once Finished is
-// closed; before that it reports the partial state.
+// Outcome returns the merged results, the closing-snapshot error if the
+// final checkpoint write could not be persisted, and whether the run
+// was cancelled. Valid once Finished is closed; before that it reports
+// the partial state.
 func (d *Dispatcher) Outcome() (*Results, error, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -182,8 +191,8 @@ func (d *Dispatcher) finish() {
 		return
 	}
 	d.finished = true
-	if d.opts.CheckpointPath != "" && d.sinceSave > 0 && d.checkpointErr == nil {
-		d.checkpointErr = SaveCheckpoint(d.opts.CheckpointPath, d.camp.Spec, d.done)
+	if d.opts.CheckpointPath != "" && d.sinceSave > 0 {
+		d.checkpointErr = saveCheckpointRetry(d.opts.CheckpointFS, d.opts.CheckpointPath, d.camp.Spec, d.done, d.metrics)
 	}
 	close(d.finishCh)
 }
@@ -207,10 +216,13 @@ func (d *Dispatcher) sweepLocked() {
 }
 
 // recordFailureLocked converts an exhausted queue entry into a
-// JobFailure on the totals. Caller holds d.mu.
+// JobFailure on the totals — the dead-letter quarantine: the job is
+// done retrying, its failure is part of the campaign record, and the
+// OnJobFailed stream surfaces it on the status endpoint instead of a
+// bare failed count. Caller holds d.mu.
 func (d *Dispatcher) recordFailureLocked(e *queueEntry) {
 	d.metrics.JobsFailed.Add(1)
-	d.results.AddFailure(JobFailure{
+	f := JobFailure{
 		JobID:    e.job.ID,
 		Test:     e.job.Test,
 		Tool:     e.job.Tool,
@@ -218,7 +230,11 @@ func (d *Dispatcher) recordFailureLocked(e *queueEntry) {
 		Shard:    e.job.Shard,
 		Attempts: e.attempts,
 		Err:      e.failErr,
-	})
+	}
+	d.results.AddFailure(f)
+	if d.opts.OnJobFailed != nil {
+		d.opts.OnJobFailed(f)
+	}
 }
 
 // maybeFinishLocked finishes the run once the ledger is fully done.
@@ -294,17 +310,27 @@ func (d *Dispatcher) Complete(req CompleteRequest, payloadBytes int) CompleteRes
 			continue
 		}
 		if _, dup := d.done[wr.Result.JobID]; dup {
-			// Also covers jobs restored from a checkpoint, which a rebuilt
-			// lease queue no longer tracks: the upload is a duplicate from a
-			// pre-restart lease holder, not an error.
-			d.metrics.ResultsFenced.Add(1)
-			resp.Fenced++
+			// Already merged. Uploads are idempotent keyed by lease nonce:
+			// a re-delivery of the very upload that merged (the worker
+			// retried after a dropped response, or the chaos layer
+			// duplicated the request) is acknowledged as a duplicate, while
+			// a competing holder's copy — or an upload for a job restored
+			// from a checkpoint, whose rebuilt queue carries no lease — is
+			// fenced. Either way nothing double-merges.
+			if nonce, ok := d.mergedLease[wr.Result.JobID]; ok && nonce == wr.LeaseID {
+				d.metrics.DuplicateUploads.Add(1)
+				resp.Duplicate++
+			} else {
+				d.metrics.ResultsFenced.Add(1)
+				resp.Fenced++
+			}
 			continue
 		}
 		wasLeased := d.leasedLocked(wr.Result.JobID)
 		accepted, fenced := d.q.complete(LeaseRef{JobID: wr.Result.JobID, LeaseID: wr.LeaseID})
 		switch {
 		case accepted:
+			d.mergedLease[wr.Result.JobID] = wr.LeaseID
 			d.mergeLocked(wr.Result, wasLeased)
 			resp.Merged++
 		case fenced:
@@ -384,14 +410,16 @@ func (d *Dispatcher) mergeLocked(jr *JobResult, wasLeased bool) {
 }
 
 // flushCheckpointLocked writes the snapshot when the batch threshold is
-// reached. The first write error sticks and surfaces in Outcome; later
-// merges still land in memory. Caller holds d.mu.
+// reached. Write failures are transient: the batch stays pending and
+// the next flush retries, since the snapshot already on disk remains a
+// valid (stale) resume point. Only a failure of the closing save — see
+// finish — surfaces in Outcome. Caller holds d.mu.
 func (d *Dispatcher) flushCheckpointLocked() {
-	if d.opts.CheckpointPath == "" || d.sinceSave < d.every || d.checkpointErr != nil {
+	if d.opts.CheckpointPath == "" || d.sinceSave < d.every {
 		return
 	}
-	if err := SaveCheckpoint(d.opts.CheckpointPath, d.camp.Spec, d.done); err != nil {
-		d.checkpointErr = err
+	if err := SaveCheckpointFS(d.opts.CheckpointFS, d.opts.CheckpointPath, d.camp.Spec, d.done); err != nil {
+		d.metrics.CheckpointErrors.Add(1)
 		return
 	}
 	d.sinceSave = 0

@@ -43,6 +43,26 @@ type serverRun struct {
 	errMsg   string
 	results  *Results
 	finished time.Time
+
+	// deadLetters quarantines jobs whose retry budget ran out, in arrival
+	// order, so poison shards are visible on the status endpoint while the
+	// campaign is still running — not only in the final report.
+	failMu      sync.Mutex
+	deadLetters []JobFailure
+}
+
+func (r *serverRun) addDeadLetter(f JobFailure) {
+	r.failMu.Lock()
+	r.deadLetters = append(r.deadLetters, f)
+	r.failMu.Unlock()
+}
+
+func (r *serverRun) deadLetterList() []JobFailure {
+	r.failMu.Lock()
+	out := append([]JobFailure(nil), r.deadLetters...)
+	r.failMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
 }
 
 func (r *serverRun) setFinished(res *Results, err error, cancelled bool) {
@@ -71,6 +91,15 @@ type Server struct {
 	// CheckpointDir, when non-empty, gives every submitted campaign a
 	// checkpoint file (<id>.json) under it.
 	CheckpointDir string
+
+	// CheckpointEvery batches snapshot writes to every n completed jobs;
+	// 0 means every job.
+	CheckpointEvery int
+
+	// CheckpointFS is the filesystem under checkpoint I/O; nil selects
+	// the real one. The chaos suite injects fault-ridden implementations
+	// here.
+	CheckpointFS CheckpointFS
 
 	// LeaseTTL is the dispatch-mode lease duration; 0 selects
 	// DefaultLeaseTTL.
@@ -218,7 +247,10 @@ func writePrometheus(w io.Writer, campaigns, running int, uptimeSec float64, agg
 		{"perple_lease_requeues_total", "counter", "Leases expired or failed and requeued.", float64(agg.LeaseRequeues)},
 		{"perple_heartbeats_total", "counter", "Lease extensions from worker heartbeats.", float64(agg.Heartbeats)},
 		{"perple_results_fenced_total", "counter", "Duplicate completions dropped by the fence.", float64(agg.ResultsFenced)},
+		{"perple_duplicate_uploads_total", "counter", "Same-lease upload re-deliveries acknowledged idempotently.", float64(agg.DuplicateUploads)},
 		{"perple_upload_bytes_total", "counter", "Compressed result payload bytes received.", float64(agg.UploadBytes)},
+		{"perple_checkpoint_errors_total", "counter", "Snapshot writes that failed and were retried.", float64(agg.CheckpointErrors)},
+		{"perple_checkpoint_recoveries_total", "counter", "Resumes recovered from the rotated last-good snapshot.", float64(agg.CheckpointRecoveries)},
 		{"perple_allocs_total", "counter", "Heap allocations since metrics start (process-wide).", float64(agg.Allocs)},
 	}
 	for _, m := range metrics {
@@ -261,7 +293,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		state:   StateRunning,
 		axiom:   camp.AxiomInfo(),
 	}
-	opts := Options{Metrics: run.metrics}
+	opts := Options{
+		Metrics:         run.metrics,
+		CheckpointEvery: s.CheckpointEvery,
+		CheckpointFS:    s.CheckpointFS,
+		OnJobFailed:     run.addDeadLetter,
+	}
 	if s.CheckpointDir != "" {
 		opts.CheckpointPath = filepath.Join(s.CheckpointDir, id+".json")
 	}
@@ -397,6 +434,10 @@ type runStatus struct {
 	Finished string          `json:"finished,omitempty"`
 	Metrics  Snapshot        `json:"metrics"`
 	Dispatch *dispatchStatus `json:"dispatch,omitempty"`
+	// DeadLetters lists jobs whose retry budget ran out, sorted by job
+	// ID — the quarantine an operator inspects to tell a poison shard
+	// from an infrastructure problem.
+	DeadLetters []JobFailure `json:"dead_letters,omitempty"`
 	// Axiom carries the static per-test target classification recorded at
 	// submit time (absent when the spec's axiom policy is "off").
 	Axiom map[string]TestAxiom `json:"axiom,omitempty"`
@@ -442,6 +483,7 @@ func (r *serverRun) status() runStatus {
 		st.Dispatch = &ds
 	}
 	st.Axiom = r.axiom
+	st.DeadLetters = r.deadLetterList()
 	return st
 }
 

@@ -45,8 +45,22 @@ type Metrics struct {
 	// completion fence (a slow worker and its requeued replacement both
 	// reported).
 	ResultsFenced atomic.Int64
+	// DuplicateUploads counts re-deliveries of an already-merged upload
+	// under the same lease nonce (a worker retrying after a lost
+	// response) — distinct from ResultsFenced, which counts competing
+	// holders.
+	DuplicateUploads atomic.Int64
 	// UploadBytes counts compressed result-payload bytes received.
 	UploadBytes atomic.Int64
+
+	// Durability counters (checkpoint layer).
+
+	// CheckpointErrors counts snapshot writes that failed and will be
+	// retried at the next flush.
+	CheckpointErrors atomic.Int64
+	// CheckpointRecoveries counts resumes that fell back to the rotated
+	// last-good snapshot because the active one was corrupt or missing.
+	CheckpointRecoveries atomic.Int64
 
 	startOnce    sync.Once
 	startNano    atomic.Int64
@@ -66,21 +80,24 @@ func (m *Metrics) Start() {
 
 // Snapshot is a point-in-time copy of every gauge, JSON-ready.
 type Snapshot struct {
-	JobsTotal        int64   `json:"jobs_total"`
-	JobsCompleted    int64   `json:"jobs_completed"`
-	JobsRestored     int64   `json:"jobs_restored"`
-	JobsFailed       int64   `json:"jobs_failed"`
-	Retries          int64   `json:"retries"`
-	QueueDepth       int64   `json:"queue_depth"`
-	InFlight         int64   `json:"in_flight"`
-	Iterations       int64   `json:"iterations"`
-	LeasesGranted    int64   `json:"leases_granted"`
-	LeaseRequeues    int64   `json:"lease_requeues"`
-	Heartbeats       int64   `json:"heartbeats"`
-	ResultsFenced    int64   `json:"results_fenced"`
-	UploadBytes      int64   `json:"upload_bytes"`
-	ElapsedSec       float64 `json:"elapsed_sec"`
-	IterationsPerSec float64 `json:"iterations_per_sec"`
+	JobsTotal            int64   `json:"jobs_total"`
+	JobsCompleted        int64   `json:"jobs_completed"`
+	JobsRestored         int64   `json:"jobs_restored"`
+	JobsFailed           int64   `json:"jobs_failed"`
+	Retries              int64   `json:"retries"`
+	QueueDepth           int64   `json:"queue_depth"`
+	InFlight             int64   `json:"in_flight"`
+	Iterations           int64   `json:"iterations"`
+	LeasesGranted        int64   `json:"leases_granted"`
+	LeaseRequeues        int64   `json:"lease_requeues"`
+	Heartbeats           int64   `json:"heartbeats"`
+	ResultsFenced        int64   `json:"results_fenced"`
+	DuplicateUploads     int64   `json:"duplicate_uploads"`
+	UploadBytes          int64   `json:"upload_bytes"`
+	CheckpointErrors     int64   `json:"checkpoint_errors"`
+	CheckpointRecoveries int64   `json:"checkpoint_recoveries"`
+	ElapsedSec           float64 `json:"elapsed_sec"`
+	IterationsPerSec     float64 `json:"iterations_per_sec"`
 	// Allocs is the process-wide heap-allocation count since Start (a
 	// runtime.MemStats.Mallocs delta), and AllocsPerIter divides it by
 	// the iterations completed. Process-wide means concurrent campaigns
@@ -94,19 +111,22 @@ type Snapshot struct {
 // the elapsed time since Start.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		JobsTotal:     m.JobsTotal.Load(),
-		JobsCompleted: m.JobsCompleted.Load(),
-		JobsRestored:  m.JobsRestored.Load(),
-		JobsFailed:    m.JobsFailed.Load(),
-		Retries:       m.Retries.Load(),
-		QueueDepth:    m.QueueDepth.Load(),
-		InFlight:      m.InFlight.Load(),
-		Iterations:    m.Iterations.Load(),
-		LeasesGranted: m.LeasesGranted.Load(),
-		LeaseRequeues: m.LeaseRequeues.Load(),
-		Heartbeats:    m.Heartbeats.Load(),
-		ResultsFenced: m.ResultsFenced.Load(),
-		UploadBytes:   m.UploadBytes.Load(),
+		JobsTotal:            m.JobsTotal.Load(),
+		JobsCompleted:        m.JobsCompleted.Load(),
+		JobsRestored:         m.JobsRestored.Load(),
+		JobsFailed:           m.JobsFailed.Load(),
+		Retries:              m.Retries.Load(),
+		QueueDepth:           m.QueueDepth.Load(),
+		InFlight:             m.InFlight.Load(),
+		Iterations:           m.Iterations.Load(),
+		LeasesGranted:        m.LeasesGranted.Load(),
+		LeaseRequeues:        m.LeaseRequeues.Load(),
+		Heartbeats:           m.Heartbeats.Load(),
+		ResultsFenced:        m.ResultsFenced.Load(),
+		DuplicateUploads:     m.DuplicateUploads.Load(),
+		UploadBytes:          m.UploadBytes.Load(),
+		CheckpointErrors:     m.CheckpointErrors.Load(),
+		CheckpointRecoveries: m.CheckpointRecoveries.Load(),
 	}
 	if start := m.startNano.Load(); start > 0 {
 		s.ElapsedSec = time.Since(time.Unix(0, start)).Seconds()
@@ -138,7 +158,10 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.LeaseRequeues += o.LeaseRequeues
 	s.Heartbeats += o.Heartbeats
 	s.ResultsFenced += o.ResultsFenced
+	s.DuplicateUploads += o.DuplicateUploads
 	s.UploadBytes += o.UploadBytes
+	s.CheckpointErrors += o.CheckpointErrors
+	s.CheckpointRecoveries += o.CheckpointRecoveries
 	s.IterationsPerSec += o.IterationsPerSec
 	if o.ElapsedSec > s.ElapsedSec {
 		s.ElapsedSec = o.ElapsedSec

@@ -109,14 +109,18 @@ type CompleteRequest struct {
 }
 
 // CompleteResponse accounts for every uploaded item: merged into the
-// totals, dropped by the completion fence, rejected as invalid (result
-// fields contradict the job's identity), requeued, or permanently
-// failed. Done tells the worker the campaign has finished.
+// totals, acknowledged as a duplicate re-delivery of an already-merged
+// upload (same job, same lease nonce — a retry after a lost response),
+// dropped by the completion fence (a competing holder's copy), rejected
+// as invalid (result fields contradict the job's identity), requeued,
+// or permanently failed. Done tells the worker the campaign has
+// finished.
 type CompleteResponse struct {
-	Merged   int  `json:"merged"`
-	Fenced   int  `json:"fenced"`
-	Invalid  int  `json:"invalid"`
-	Requeued int  `json:"requeued"`
-	Failed   int  `json:"failed"`
-	Done     bool `json:"done,omitempty"`
+	Merged    int  `json:"merged"`
+	Duplicate int  `json:"duplicate,omitempty"`
+	Fenced    int  `json:"fenced"`
+	Invalid   int  `json:"invalid"`
+	Requeued  int  `json:"requeued"`
+	Failed    int  `json:"failed"`
+	Done      bool `json:"done,omitempty"`
 }

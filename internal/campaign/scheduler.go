@@ -23,12 +23,22 @@ type Options struct {
 	// 0 means every job.
 	CheckpointEvery int
 
+	// CheckpointFS is the filesystem under checkpoint I/O; nil selects
+	// the real one. The chaos suite injects fault-ridden implementations
+	// here.
+	CheckpointFS CheckpointFS
+
 	// Metrics receives the run's counters; nil allocates a private set.
 	Metrics *Metrics
 
 	// OnJobDone, when set, observes every merged job result from the
 	// collector goroutine (after checkpointing).
 	OnJobDone func(*JobResult)
+
+	// OnJobFailed, when set, observes every job whose retry budget ran
+	// out — the dead-letter stream the server surfaces on the status
+	// endpoint.
+	OnJobFailed func(JobFailure)
 
 	// runJob overrides job execution; tests inject failures and panics
 	// here. nil selects the real harness-backed runner.
@@ -170,6 +180,9 @@ func (c *Campaign) Run(ctx context.Context, opts Options) (*Results, error) {
 	if opts.runJob == nil {
 		opts.runJob = runJob
 	}
+	if opts.CheckpointFS == nil {
+		opts.CheckpointFS = osCheckpointFS{}
+	}
 	every := opts.CheckpointEvery
 	if every <= 0 {
 		every = 1
@@ -177,10 +190,13 @@ func (c *Campaign) Run(ctx context.Context, opts Options) (*Results, error) {
 
 	done := map[int]*JobResult{}
 	if opts.CheckpointPath != "" {
-		restored, err := LoadCheckpoint(opts.CheckpointPath, c.Spec)
+		restored, recovered, err := LoadCheckpointFS(opts.CheckpointFS, opts.CheckpointPath, c.Spec)
 		switch {
 		case err == nil:
 			done = restored
+			if recovered {
+				metrics.CheckpointRecoveries.Add(1)
+			}
 		case os.IsNotExist(err):
 			// Fresh campaign: nothing to restore.
 		default:
@@ -254,38 +270,60 @@ func (c *Campaign) Run(ctx context.Context, opts Options) (*Results, error) {
 	}()
 
 	// Collector: the only goroutine touching results, done, and the
-	// checkpoint file.
-	var checkpointErr error
+	// checkpoint file. Snapshot write failures are transient until the
+	// end of the run: the batch stays pending and the next flush retries,
+	// because the previous snapshot on disk is still a valid (if stale)
+	// resume point — a disk hiccup should cost recent progress, not
+	// disable checkpointing for good.
 	sinceSave := 0
 	for o := range outCh {
 		if o.fail != nil {
 			results.AddFailure(*o.fail)
+			if opts.OnJobFailed != nil {
+				opts.OnJobFailed(*o.fail)
+			}
 			continue
 		}
 		results.Add(o.jr)
 		done[o.jr.JobID] = o.jr
 		metrics.JobsCompleted.Add(1)
 		sinceSave++
-		if opts.CheckpointPath != "" && sinceSave >= every && checkpointErr == nil {
-			if checkpointErr = SaveCheckpoint(opts.CheckpointPath, c.Spec, done); checkpointErr != nil {
-				// The resume guarantee is broken: stop accepting work but
-				// keep draining so the workers can exit.
-				continue
+		if opts.CheckpointPath != "" && sinceSave >= every {
+			if err := SaveCheckpointFS(opts.CheckpointFS, opts.CheckpointPath, c.Spec, done); err != nil {
+				metrics.CheckpointErrors.Add(1)
+			} else {
+				sinceSave = 0
 			}
-			sinceSave = 0
 		}
 		if opts.OnJobDone != nil {
 			opts.OnJobDone(o.jr)
 		}
 	}
 
-	if opts.CheckpointPath != "" && sinceSave > 0 && checkpointErr == nil {
-		checkpointErr = SaveCheckpoint(opts.CheckpointPath, c.Spec, done)
-	}
-	if checkpointErr != nil {
-		return results, checkpointErr
+	if opts.CheckpointPath != "" && sinceSave > 0 {
+		if err := saveCheckpointRetry(opts.CheckpointFS, opts.CheckpointPath, c.Spec, done, metrics); err != nil {
+			return results, err
+		}
 	}
 	return results, ctx.Err()
+}
+
+// finalSaveRetries bounds how many times the closing snapshot write is
+// retried before the run surfaces the error.
+const finalSaveRetries = 3
+
+// saveCheckpointRetry makes the closing snapshot write resilient to
+// transient disk faults: up to finalSaveRetries attempts, counting each
+// failure, returning the last error only if none succeeded.
+func saveCheckpointRetry(fsys CheckpointFS, path string, spec Spec, done map[int]*JobResult, metrics *Metrics) error {
+	var err error
+	for attempt := 0; attempt < finalSaveRetries; attempt++ {
+		if err = SaveCheckpointFS(fsys, path, spec, done); err == nil {
+			return nil
+		}
+		metrics.CheckpointErrors.Add(1)
+	}
+	return err
 }
 
 // attemptJob runs one job with panic recovery and the spec's retry

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"net/http"
@@ -45,6 +46,12 @@ type WorkerOptions struct {
 	// BackoffBase is the first retry delay, doubling per attempt up to
 	// 32x; 0 selects 200ms.
 	BackoffBase time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// client's circuit breaker; 0 selects DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit holds requests off; 0
+	// selects DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 	// OnJobDone observes every locally completed job result, before
 	// upload.
 	OnJobDone func(*JobResult)
@@ -62,7 +69,15 @@ type WorkerOptions struct {
 // campaign to the same final bytes as a local run.
 type Worker struct {
 	opts     WorkerOptions
+	brk      *breaker
 	draining atomic.Bool
+
+	// rng drives backoff and poll-wait jitter. Seeding it from the
+	// worker's name (not time or a process-global stream) keeps a fleet's
+	// members desynchronized from each other yet individually
+	// reproducible.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// JobsCompleted and JobsFailed count this worker's own executions.
 	JobsCompleted atomic.Int64
@@ -96,7 +111,24 @@ func NewWorker(opts WorkerOptions) *Worker {
 	if opts.runJob == nil {
 		opts.runJob = runJob
 	}
-	return &Worker{opts: opts}
+	h := fnv.New64a()
+	io.WriteString(h, opts.Name)
+	return &Worker{
+		opts: opts,
+		brk:  newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		rng:  rand.New(rand.NewSource(int64(h.Sum64() &^ (1 << 63)))),
+	}
+}
+
+// jitter draws a uniform duration in [0, d] from the worker's own
+// stream.
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	w.rngMu.Lock()
+	defer w.rngMu.Unlock()
+	return time.Duration(w.rng.Int63n(int64(d) + 1))
 }
 
 // Drain asks the worker to stop pulling new leases: in-flight jobs
@@ -144,6 +176,9 @@ func (w *Worker) Run(ctx context.Context) error {
 			if wait <= 0 {
 				wait = 500 * time.Millisecond
 			}
+			// Jitter the poll so idle fleet members spread out instead of
+			// stampeding the lease endpoint in lockstep.
+			wait = wait/2 + w.jitter(wait/2)
 			if err := sleepCtx(ctx, wait); err != nil {
 				return err
 			}
@@ -333,8 +368,11 @@ func (w *Worker) url(endpoint string) string {
 }
 
 // retry runs one HTTP exchange with exponential backoff on transport
-// errors and 5xx responses; 4xx responses fail immediately (the request
-// is wrong, not the network).
+// errors, 5xx responses, and undecodable response bodies (bytes damaged
+// in flight); 4xx responses fail immediately (the request is wrong, not
+// the network). Every outcome feeds the worker's circuit breaker, and
+// an open circuit is waited out before the next attempt — attempts are
+// spent on the server, not on a cooldown we already know about.
 func (w *Worker) retry(ctx context.Context, do func() (*http.Response, error), out any) error {
 	backoff := w.opts.BackoffBase
 	var lastErr error
@@ -342,7 +380,7 @@ func (w *Worker) retry(ctx context.Context, do func() (*http.Response, error), o
 		if attempt > 0 {
 			// Full jitter keeps a rebooting fleet from thundering back in
 			// sync.
-			d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			d := backoff/2 + w.jitter(backoff/2)
 			if err := sleepCtx(ctx, d); err != nil {
 				return err
 			}
@@ -350,32 +388,46 @@ func (w *Worker) retry(ctx context.Context, do func() (*http.Response, error), o
 				backoff *= 2
 			}
 		}
+		if hold := w.brk.waitTime(time.Now()); hold > 0 {
+			if err := sleepCtx(ctx, hold); err != nil {
+				return err
+			}
+		}
 		resp, err := do()
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
+			w.brk.failure(time.Now())
 			lastErr = err
 			continue
 		}
 		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 		resp.Body.Close()
 		if err != nil {
+			w.brk.failure(time.Now())
 			lastErr = err
 			continue
 		}
 		switch {
 		case resp.StatusCode >= 500:
+			w.brk.failure(time.Now())
 			lastErr = fmt.Errorf("campaign: server error %s: %s", resp.Status, firstLine(body))
 			continue
 		case resp.StatusCode >= 400:
+			w.brk.success()
 			return fmt.Errorf("campaign: %s: %s", resp.Status, firstLine(body))
 		}
+		w.brk.success()
 		if out == nil {
 			return nil
 		}
 		if err := json.Unmarshal(body, out); err != nil {
-			return fmt.Errorf("campaign: decoding response: %w", err)
+			// A 200 with undecodable JSON is a damaged body, not a protocol
+			// disagreement: retry. Uploads stay safe to re-send — the server
+			// dedupes by lease nonce.
+			lastErr = fmt.Errorf("campaign: decoding response: %w", err)
+			continue
 		}
 		return nil
 	}

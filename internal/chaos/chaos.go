@@ -1,0 +1,170 @@
+// Package chaos is the deterministic fault-injection framework for the
+// campaign stack: a seeded, per-endpoint schedule of HTTP transport
+// faults (see RoundTripper) and checkpoint filesystem faults (see FS).
+//
+// Two properties make it a test harness rather than a fuzzer:
+//
+//   - Reproducibility: every fault decision comes from one seeded PRNG
+//     consumed in operation order, so a fixed seed and a serialized
+//     operation sequence replay the same fault schedule. (Under
+//     concurrency the interleaving — and therefore the schedule — may
+//     vary run to run; the properties the chaos suite asserts, such as
+//     byte-identical merged results, hold for every interleaving.)
+//
+//   - Guaranteed progress: at most MaxConsecutive back-to-back failing
+//     faults are injected per operation kind, so any retry loop with
+//     more than MaxConsecutive attempts is guaranteed to eventually see
+//     a clean operation. Chaos runs torture the stack's failure
+//     handling without ever being able to wedge it.
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Fault identifies one injector.
+type Fault int
+
+const (
+	// None injects nothing; the operation proceeds untouched.
+	None Fault = iota
+	// DropRequest fails the exchange before the server sees it.
+	DropRequest
+	// DropResponse delivers the request, lets the server act, then loses
+	// the response — the fault that exposes non-idempotent handlers.
+	DropResponse
+	// Delay stalls the request, then lets it proceed.
+	Delay
+	// Duplicate delivers the request twice; the second delivery's
+	// response is discarded.
+	Duplicate
+	// Truncate cuts the response body short mid-stream.
+	Truncate
+	// ServerError synthesizes a 503 without contacting the server.
+	ServerError
+	// TornWrite persists only a prefix of a checkpoint write, then fails
+	// the fsync.
+	TornWrite
+	// Corrupt silently flips one bit in a checkpoint write — the fault
+	// only a checksum can catch.
+	Corrupt
+	// RenameFail fails the checkpoint's commit (or rotation) rename.
+	RenameFail
+
+	numFaults
+)
+
+var faultNames = [numFaults]string{
+	"none", "drop_request", "drop_response", "delay", "duplicate",
+	"truncate", "server_error", "torn_write", "corrupt", "rename_fail",
+}
+
+func (f Fault) String() string {
+	if f < 0 || f >= numFaults {
+		return "unknown"
+	}
+	return faultNames[f]
+}
+
+// failing reports whether the fault makes the operation observably fail
+// and therefore counts toward the consecutive-fault cap. Delay,
+// Duplicate, and Corrupt leave the operation nominally successful.
+func (f Fault) failing() bool {
+	switch f {
+	case None, Delay, Duplicate, Corrupt:
+		return false
+	}
+	return true
+}
+
+// Stats is a snapshot of injector activity: how many times each fault
+// fired, keyed by Fault.String(), plus "ops" for total operations seen.
+type Stats map[string]int64
+
+// Merge folds another snapshot into s (for aggregating across the
+// injectors of a whole fleet).
+func (s Stats) Merge(o Stats) {
+	for k, v := range o {
+		s[k] += v
+	}
+}
+
+// pick is one entry of an operation's fault-rate table.
+type pick struct {
+	fault Fault
+	rate  float64
+}
+
+// schedule is the shared seeded core: a single PRNG consumed in
+// operation order, per-op consecutive-failure caps, and fault counters.
+type schedule struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	max         int
+	consecutive map[string]int
+	counts      [numFaults]int64
+	ops         int64
+}
+
+func newSchedule(seed int64, maxConsecutive int) *schedule {
+	if maxConsecutive <= 0 {
+		maxConsecutive = 2
+	}
+	return &schedule{
+		rng:         rand.New(rand.NewSource(seed)),
+		max:         maxConsecutive,
+		consecutive: map[string]int{},
+	}
+}
+
+// next draws the fault for one operation against op's rate table. The
+// rates are treated as disjoint outcome probabilities (their sum must
+// stay ≤ 1); a single uniform draw selects among them. A failing fault
+// is suppressed to None once op has already suffered max consecutive
+// failing faults, which is what guarantees bounded retry loops succeed.
+func (s *schedule) next(op string, picks []pick) Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	u := s.rng.Float64()
+	f := None
+	for _, p := range picks {
+		if u < p.rate {
+			f = p.fault
+			break
+		}
+		u -= p.rate
+	}
+	if f.failing() {
+		if s.consecutive[op] >= s.max {
+			f = None
+		} else {
+			s.consecutive[op]++
+		}
+	}
+	if !f.failing() {
+		s.consecutive[op] = 0
+	}
+	s.counts[f]++
+	return f
+}
+
+// intn is a deterministic auxiliary draw (delay durations, corruption
+// positions) from the same seeded stream.
+func (s *schedule) intn(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Intn(n)
+}
+
+// stats snapshots the counters.
+func (s *schedule) stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Stats{"ops": s.ops}
+	for f := Fault(1); f < numFaults; f++ {
+		out[f.String()] = s.counts[f]
+	}
+	return out
+}

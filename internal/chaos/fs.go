@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+
+	"perple/internal/campaign"
+)
+
+// FSRates are the per-save-attempt fault probabilities for the
+// checkpoint filesystem. One seeded draw per save attempt (made when
+// the temp file is created) selects at most one of them, so the sum
+// must stay ≤ 1.
+type FSRates struct {
+	// TornWrite persists only the first half of the snapshot, then fails
+	// the fsync — the crash-mid-write case.
+	TornWrite float64
+	// Corrupt flips a single bit in the written snapshot and reports
+	// success — silent media corruption, detectable only by checksum.
+	Corrupt float64
+	// RenameFail fails the save's next rename (rotation or commit).
+	RenameFail float64
+}
+
+// FSConfig parameterizes an FS.
+type FSConfig struct {
+	// Seed drives the fault schedule; equal seeds replay equal draws.
+	Seed  int64
+	Rates FSRates
+	// MaxConsecutive caps back-to-back failing save attempts (default
+	// 2). Corrupt does not count — it is a silent success — so a save
+	// loop with more attempts than the cap always completes.
+	MaxConsecutive int
+}
+
+// fsOp is the single schedule key: a save attempt draws exactly one
+// fault covering its whole write-sync-rename sequence, so the
+// consecutive-failure cap bounds failing save attempts as a unit.
+const fsOp = "save"
+
+// FS implements campaign.CheckpointFS with seeded write-path faults.
+// Reads are never faulted: corruption is injected at write time, which
+// is where real torn sectors and bit rot originate, and which is what
+// exercises the load-time checksum and last-good fallback.
+//
+// Fault bookkeeping assumes save attempts do not interleave (the
+// campaign layer serializes checkpoint writes); concurrent reads are
+// fine.
+type FS struct {
+	sched *schedule
+	rates FSRates
+
+	mu            sync.Mutex
+	pendingRename bool
+}
+
+// NewFS builds a fault-injecting checkpoint filesystem.
+func NewFS(cfg FSConfig) *FS {
+	return &FS{sched: newSchedule(cfg.Seed, cfg.MaxConsecutive), rates: cfg.Rates}
+}
+
+// Stats snapshots how often each injector has fired.
+func (f *FS) Stats() Stats { return f.sched.stats() }
+
+// CreateTemp opens the save attempt: it draws the attempt's fault and
+// returns a buffering file that applies any write-path fault at Sync.
+func (f *FS) CreateTemp(dir, pattern string) (campaign.CheckpointFile, error) {
+	fault := f.sched.next(fsOp, []pick{
+		{TornWrite, f.rates.TornWrite},
+		{Corrupt, f.rates.Corrupt},
+		{RenameFail, f.rates.RenameFail},
+	})
+	if fault == RenameFail {
+		f.mu.Lock()
+		f.pendingRename = true
+		f.mu.Unlock()
+		fault = None
+	}
+	file, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fault: fault, intn: f.sched.intn}, nil
+}
+
+// Rename consumes a pending rename fault, else delegates to os.Rename.
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	fail := f.pendingRename
+	f.pendingRename = false
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("chaos: rename %s -> %s failed", oldpath, newpath)
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove delegates to os.Remove (cleanup is never faulted).
+func (f *FS) Remove(name string) error { return os.Remove(name) }
+
+// ReadFile delegates to os.ReadFile (reads are never faulted).
+func (f *FS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// SyncDir is a no-op: directory syncs are best-effort in the real
+// implementation too, and faulting them would add no new failure mode
+// beyond RenameFail.
+func (f *FS) SyncDir(dir string) error { return nil }
+
+// faultFile buffers all writes and applies its fault when the caller
+// syncs, mimicking a kernel that only surfaces write-back problems at
+// fsync time.
+type faultFile struct {
+	f     *os.File
+	buf   bytes.Buffer
+	fault Fault
+	intn  func(n int) int
+}
+
+func (w *faultFile) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+func (w *faultFile) Name() string { return w.f.Name() }
+
+func (w *faultFile) Sync() error {
+	data := w.buf.Bytes()
+	switch w.fault {
+	case TornWrite:
+		// Half the bytes reach the file, then the fsync reports failure.
+		if _, err := w.f.Write(data[:len(data)/2]); err != nil {
+			return err
+		}
+		w.f.Sync()
+		return fmt.Errorf("chaos: torn write: fsync failed after %d of %d bytes", len(data)/2, len(data))
+	case Corrupt:
+		if len(data) > 0 {
+			data = append([]byte(nil), data...)
+			data[w.intn(len(data))] ^= 1 << uint(w.intn(8))
+		}
+	}
+	if _, err := w.f.Write(data); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }

@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Rates are the per-request fault probabilities for one endpoint. At
+// most one fault fires per request — a single seeded draw selects among
+// them — so the sum must stay ≤ 1.
+type Rates struct {
+	DropRequest  float64
+	DropResponse float64
+	Delay        float64
+	Duplicate    float64
+	Truncate     float64
+	ServerError  float64
+}
+
+// Config parameterizes a RoundTripper.
+type Config struct {
+	// Seed drives the fault schedule; equal seeds replay equal draws.
+	Seed int64
+	// Rates applies to every request unless PerOp overrides the
+	// request's op (the last segment of the URL path, e.g. "lease").
+	Rates Rates
+	// PerOp overrides Rates for specific ops.
+	PerOp map[string]Rates
+	// DelayMin and DelayMax bound injected delays (defaults 1ms–10ms).
+	DelayMin time.Duration
+	DelayMax time.Duration
+	// MaxConsecutive caps back-to-back failing faults per op (default
+	// 2), so any retry loop with more attempts than the cap is
+	// guaranteed a clean exchange.
+	MaxConsecutive int
+}
+
+// RoundTripper wraps another http.RoundTripper with seeded fault
+// injection. It is safe for concurrent use.
+type RoundTripper struct {
+	base  http.RoundTripper
+	cfg   Config
+	sched *schedule
+}
+
+// New builds a fault-injecting RoundTripper over base (defaulting to
+// http.DefaultTransport).
+func New(cfg Config, base http.RoundTripper) *RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if cfg.DelayMin <= 0 {
+		cfg.DelayMin = time.Millisecond
+	}
+	if cfg.DelayMax < cfg.DelayMin {
+		cfg.DelayMax = 10 * time.Millisecond
+		if cfg.DelayMax < cfg.DelayMin {
+			cfg.DelayMax = cfg.DelayMin
+		}
+	}
+	return &RoundTripper{base: base, cfg: cfg, sched: newSchedule(cfg.Seed, cfg.MaxConsecutive)}
+}
+
+// Stats snapshots how often each injector has fired.
+func (rt *RoundTripper) Stats() Stats { return rt.sched.stats() }
+
+// opOf keys the fault schedule by the last URL path segment, which in
+// the dispatch protocol names the operation (corpus, lease, heartbeat,
+// complete).
+func opOf(req *http.Request) string {
+	p := strings.TrimSuffix(req.URL.Path, "/")
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		p = p[i+1:]
+	}
+	if p == "" {
+		p = "/"
+	}
+	return p
+}
+
+func (rt *RoundTripper) picks(op string) []pick {
+	r := rt.cfg.Rates
+	if o, ok := rt.cfg.PerOp[op]; ok {
+		r = o
+	}
+	return []pick{
+		{DropRequest, r.DropRequest},
+		{DropResponse, r.DropResponse},
+		{Delay, r.Delay},
+		{Duplicate, r.Duplicate},
+		{Truncate, r.Truncate},
+		{ServerError, r.ServerError},
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	op := opOf(req)
+	switch rt.sched.next(op, rt.picks(op)) {
+	case DropRequest:
+		closeBody(req)
+		return nil, fmt.Errorf("chaos: %s %s: request dropped", req.Method, req.URL.Path)
+
+	case ServerError:
+		closeBody(req)
+		return syntheticError(req), nil
+
+	case Delay:
+		span := int64(rt.cfg.DelayMax-rt.cfg.DelayMin) + 1
+		d := rt.cfg.DelayMin + time.Duration(rt.sched.intn(int(span)))
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			closeBody(req)
+			return nil, req.Context().Err()
+		}
+		return rt.base.RoundTrip(req)
+
+	case DropResponse:
+		// The server sees and acts on the request; only the response is
+		// lost. The caller observes a transport error and will retry, so
+		// any non-idempotent handler double-applies.
+		resp, err := rt.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		drain(resp)
+		return nil, fmt.Errorf("chaos: %s %s: response dropped after delivery", req.Method, req.URL.Path)
+
+	case Duplicate:
+		// Deliver a cloned copy first, discard its response, then run the
+		// caller's exchange normally — the wire-level double-send.
+		if dup, ok := cloneRequest(req); ok {
+			if resp, err := rt.base.RoundTrip(dup); err == nil {
+				drain(resp)
+			}
+		}
+		return rt.base.RoundTrip(req)
+
+	case Truncate:
+		resp, err := rt.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cut := body[:len(body)/2]
+		resp.Body = io.NopCloser(bytes.NewReader(cut))
+		resp.ContentLength = int64(len(cut))
+		resp.Header.Set("Content-Length", strconv.Itoa(len(cut)))
+		return resp, nil
+	}
+	return rt.base.RoundTrip(req)
+}
+
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// cloneRequest copies req with a replayable body. Requests whose body
+// cannot be replayed (no GetBody) are not duplicated.
+func cloneRequest(req *http.Request) (*http.Request, bool) {
+	dup := req.Clone(req.Context())
+	if req.Body == nil {
+		return dup, true
+	}
+	if req.GetBody == nil {
+		return nil, false
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, false
+	}
+	dup.Body = body
+	return dup, true
+}
+
+func syntheticError(req *http.Request) *http.Response {
+	body := "chaos: injected server error\n"
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"text/plain; charset=utf-8"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
