@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet lint fuzz chaos
+.PHONY: build test race bench vet lint fuzz chaos trace-verify
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ fuzz:
 # on rerun.
 chaos:
 	$(GO) test ./internal/campaign -run TestChaos -race -count=1 -v -chaos.long
+
+# Runtime conformance oracle: sampled witness-trace verification of the
+# built-in suite on the default (TSO) machine, under the race detector.
+# Exit status follows perple-trace: 0 all witnesses consistent, 1
+# violations found (a simulator conformance bug), 2 usage or error.
+trace-verify:
+	$(GO) run -race ./cmd/perple-trace -suite -n 4000 -every 4
 
 # Capture the sim/counter core benchmarks into BENCH_simcore.json
 # (committed, so future PRs can diff the perf trajectory).

@@ -276,6 +276,52 @@ func BenchmarkSimLitmus7Reused(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceVerify prices the witness-trace verification plane on
+// the reused zero-allocation runner. The "off" variant must match
+// BenchmarkSimLitmus7Reused — with verification disabled the recording
+// hooks reduce to a nil check and the 4M+ iters/s hot path is untouched
+// — while the strided and full variants measure rf/co recording plus the
+// near-linear consistency check per verified witness.
+func BenchmarkTraceVerify(b *testing.B) {
+	test, err := SuiteTest("sb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := CompileTest(test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 5000
+	for _, bc := range []struct {
+		name string
+		tv   harness.TraceVerify
+	}{
+		{"off", harness.TraceVerify{}},
+		{"every=16", harness.TraceVerify{Every: 16}},
+		{"all", harness.TraceVerify{Every: 1}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			lr, err := NewLitmus7Runner(ct, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := lr.SetTraceVerify(bc.tv); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := lr.Run(n, ModeUser, DefaultConfig()); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lr.Run(n, ModeUser, DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "iters/sec")
+		})
+	}
+}
+
 // BenchmarkSimLitmus7Batch measures intra-test batching: one 5000-
 // iteration litmus7-style run split across per-worker machines. On a
 // multicore host the per-op time drops near-linearly with workers; on a

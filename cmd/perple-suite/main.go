@@ -80,11 +80,12 @@ func run() error {
 	intraWorkers := flag.Int("intra-workers", 1, "worker goroutines inside each campaign job (result-affecting; recorded in checkpoints)")
 	remote := flag.String("remote", "", "perple-serve base URL: submit the campaign as a dispatch job for perple-worker fleet members")
 	axiomPolicy := flag.String("axiom", "", "campaign axiom policy: warn (default) flags statically forbidden/unsatisfiable targets, reject drops them from the sweep, off skips the check")
+	traceVerify := flag.String("trace-verify", "", "witness-trace verification for litmus7 runs: off (default), all, or a decimal stride k — check every k-th iteration's rf/co witness against x86-TSO")
 	flag.Parse()
 
 	if *remote != "" {
 		spec, err := buildSpec(*specPath, *dir, *tool, *mixed, *n, *seed, *preset, *exhCap,
-			*shardSize, *workers, *intraWorkers, *axiomPolicy)
+			*shardSize, *workers, *intraWorkers, *axiomPolicy, *traceVerify)
 		if err != nil {
 			return err
 		}
@@ -92,7 +93,11 @@ func run() error {
 	}
 	if *useCampaign || *specPath != "" {
 		return runCampaign(*specPath, *dir, *tool, *mixed, *n, *seed, *preset, *exhCap,
-			*checkpoint, *shardSize, *workers, *intraWorkers, *axiomPolicy)
+			*checkpoint, *shardSize, *workers, *intraWorkers, *axiomPolicy, *traceVerify)
+	}
+	tvEvery, err := campaign.ParseTraceVerify(*traceVerify)
+	if err != nil {
+		return err
 	}
 
 	cfg, err := sim.Preset(*preset)
@@ -110,9 +115,10 @@ func run() error {
 
 	tb := stats.NewTable("test", "tool", "target", "ticks", "rate/Mtick", "note")
 	var totalTicks, totalTargets int64
+	var tvTotals traceTotals
 	var failures []string
 	for _, test := range tests {
-		row, err := runOne(test, *tool, *mixed, *n, *exhCap, cfg)
+		row, err := runOne(test, *tool, *mixed, *n, *exhCap, cfg, tvEvery, &tvTotals)
 		if err != nil {
 			// Collect and keep sweeping: one broken test must not hide
 			// the results of the other 39.
@@ -127,6 +133,9 @@ func run() error {
 	}
 	fmt.Print(tb.String())
 	fmt.Printf("\ncampaign totals: %d target occurrences, %d simulated ticks\n", totalTargets, totalTicks)
+	if err := tvTotals.report(tvEvery); err != nil && len(failures) == 0 {
+		return err
+	}
 	if len(failures) > 0 {
 		fmt.Printf("\n%d test(s) failed:\n", len(failures))
 		for _, f := range failures {
@@ -137,13 +146,49 @@ func run() error {
 	return nil
 }
 
+// traceTotals accumulates witness-trace verification tallies across a
+// sweep, with the rendered reports capped like the harness caps them.
+type traceTotals struct {
+	verified   int64
+	violations int64
+	reports    []string
+}
+
+func (tt *traceTotals) add(res *harness.Litmus7Result) {
+	tt.verified += res.TracesVerified
+	tt.violations += res.TraceViolations
+	for _, rep := range res.TraceReports {
+		if len(tt.reports) < harness.DefaultTraceReports {
+			tt.reports = append(tt.reports, rep)
+		}
+	}
+}
+
+// report prints the verification summary and returns an error when the
+// machine violated its model — a trace violation is a conformance bug,
+// not a statistic, so it must fail the sweep's exit status.
+func (tt *traceTotals) report(every int) error {
+	if every == 0 {
+		return nil
+	}
+	fmt.Printf("trace-verify: %d witnesses checked (stride %d), %d violation(s)\n",
+		tt.verified, every, tt.violations)
+	for _, rep := range tt.reports {
+		fmt.Printf("\n%s\n", rep)
+	}
+	if tt.violations > 0 {
+		return fmt.Errorf("trace verification found %d violation(s)", tt.violations)
+	}
+	return nil
+}
+
 // runCampaign hands the sweep to the campaign scheduler. The spec comes
 // from -spec JSON when given, otherwise it is assembled from the same
 // flags the sequential path uses.
 func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, preset string,
-	exhCap int, checkpoint string, shardSize, workers, intraWorkers int, axiomPolicy string) error {
+	exhCap int, checkpoint string, shardSize, workers, intraWorkers int, axiomPolicy, traceVerify string) error {
 	spec, err := buildSpec(specPath, dir, tool, mixed, n, seed, preset, exhCap,
-		shardSize, workers, intraWorkers, axiomPolicy)
+		shardSize, workers, intraWorkers, axiomPolicy, traceVerify)
 	if err != nil {
 		return err
 	}
@@ -169,11 +214,17 @@ func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, pres
 
 	metrics := &campaign.Metrics{}
 	done := 0
+	var tvTotals traceTotals
 	res, err := camp.Run(ctx, campaign.Options{
 		CheckpointPath: checkpoint,
 		Metrics:        metrics,
 		OnJobDone: func(jr *campaign.JobResult) {
 			done++
+			for _, rep := range jr.TraceReports {
+				if len(tvTotals.reports) < harness.DefaultTraceReports {
+					tvTotals.reports = append(tvTotals.reports, rep)
+				}
+			}
 			fmt.Fprintf(os.Stderr, "\r%d/%d jobs", done+int(metrics.JobsRestored.Load()), len(camp.Jobs()))
 		},
 	})
@@ -187,6 +238,11 @@ func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, pres
 		}
 		return err
 	}
+	tvTotals.verified = metrics.TracesVerified.Load()
+	tvTotals.violations = metrics.TraceViolations.Load()
+	if err := tvTotals.report(spec.TraceVerifyEvery()); err != nil {
+		return err
+	}
 	if len(res.Failures) > 0 {
 		return fmt.Errorf("%d job(s) failed", len(res.Failures))
 	}
@@ -196,11 +252,15 @@ func runCampaign(specPath, dir, tool string, mixed bool, n int, seed int64, pres
 // buildSpec assembles a campaign spec from -spec JSON when given,
 // otherwise from the same flags the sequential path uses.
 func buildSpec(specPath, dir, tool string, mixed bool, n int, seed int64, preset string,
-	exhCap, shardSize, workers, intraWorkers int, axiomPolicy string) (campaign.Spec, error) {
+	exhCap, shardSize, workers, intraWorkers int, axiomPolicy, traceVerify string) (campaign.Spec, error) {
 	if specPath != "" {
 		spec, err := campaign.LoadSpec(specPath)
 		if err == nil && axiomPolicy != "" {
 			spec.Axiom = axiomPolicy
+			err = spec.Validate()
+		}
+		if err == nil && traceVerify != "" {
+			spec.TraceVerify = traceVerify
 			err = spec.Validate()
 		}
 		return spec, err
@@ -220,6 +280,7 @@ func buildSpec(specPath, dir, tool string, mixed bool, n int, seed int64, preset
 		Workers:      workers,
 		IntraWorkers: intraWorkers,
 		Axiom:        axiomPolicy,
+		TraceVerify:  traceVerify,
 	}
 	if err := spec.Validate(); err != nil {
 		return campaign.Spec{}, err
@@ -292,6 +353,7 @@ func runRemote(baseURL string, spec campaign.Spec) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var tvTotals traceTotals
 	for {
 		var status struct {
 			State    string `json:"state"`
@@ -302,10 +364,18 @@ func runRemote(baseURL string, spec campaign.Spec) error {
 				Done    int `json:"done"`
 				Failed  int `json:"failed"`
 			} `json:"dispatch"`
+			Metrics struct {
+				TracesVerified  int64 `json:"traces_verified"`
+				TraceViolations int64 `json:"trace_violations"`
+			} `json:"metrics"`
+			TraceReports []string `json:"trace_reports"`
 		}
 		if err := getJSON(ctx, client, fmt.Sprintf("%s/campaigns/%s", baseURL, submitted.ID), &status); err != nil {
 			return err
 		}
+		tvTotals.verified = status.Metrics.TracesVerified
+		tvTotals.violations = status.Metrics.TraceViolations
+		tvTotals.reports = status.TraceReports
 		if d := status.Dispatch; d != nil {
 			fmt.Fprintf(os.Stderr, "\r%d done, %d leased, %d pending", d.Done, d.Leased, d.Pending)
 		}
@@ -340,6 +410,9 @@ func runRemote(baseURL string, spec campaign.Spec) error {
 	}
 	res.Failures = doc.Failures
 	fmt.Print(res.Render())
+	if err := tvTotals.report(spec.TraceVerifyEvery()); err != nil {
+		return err
+	}
 	if len(res.Failures) > 0 {
 		return fmt.Errorf("%d job(s) failed", len(res.Failures))
 	}
@@ -369,7 +442,8 @@ type rowResult struct {
 	note   string
 }
 
-func runOne(test *litmus.Test, tool string, mixed bool, n, exhCap int, cfg sim.Config) (rowResult, error) {
+func runOne(test *litmus.Test, tool string, mixed bool, n, exhCap int, cfg sim.Config,
+	tvEvery int, tvTotals *traceTotals) (rowResult, error) {
 	convertible := !test.Target.HasMemConds()
 	useTool := tool
 	if mixed {
@@ -385,11 +459,19 @@ func runOne(test *litmus.Test, tool string, mixed bool, n, exhCap int, cfg sim.C
 		if err != nil {
 			return rowResult{}, err
 		}
-		res, err := harness.RunLitmus7(test, n, mode, nil, cfg)
+		res, err := harness.RunLitmus7BatchVerify(test, n, mode, nil, cfg, 1,
+			harness.TraceVerify{Every: tvEvery})
 		if err != nil {
 			return rowResult{}, err
 		}
-		return rowResult{tool: useTool, target: res.TargetCount, ticks: res.Ticks}, nil
+		row := rowResult{tool: useTool, target: res.TargetCount, ticks: res.Ticks}
+		if tvEvery > 0 {
+			tvTotals.add(res)
+			if res.TraceViolations > 0 {
+				row.note = fmt.Sprintf("%d trace violation(s)", res.TraceViolations)
+			}
+		}
+		return row, nil
 	}
 
 	if !convertible {

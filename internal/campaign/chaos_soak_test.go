@@ -216,6 +216,15 @@ func chaosRound(t *testing.T, round int, spec campaign.Spec, want []byte) chaos.
 	if dl, ok := st["dead_letters"]; ok {
 		t.Fatalf("round %d: chaos quarantined jobs despite the retry budget: %v", round, dl)
 	}
+	if spec.TraceVerifyEvery() > 0 {
+		metrics := st["metrics"].(map[string]any)
+		if got := metrics["traces_verified"].(float64); got == 0 {
+			t.Fatalf("round %d: trace verification enabled but no traces verified: %v", round, metrics)
+		}
+		if got := metrics["trace_violations"].(float64); got != 0 {
+			t.Fatalf("round %d: TSO machine produced trace violations: %v", round, st["trace_reports"])
+		}
+	}
 
 	stats := chaos.Stats{}
 	for _, rt := range rts {
@@ -232,6 +241,15 @@ func chaosRound(t *testing.T, round int, spec campaign.Spec, want []byte) chaos.
 func TestChaosSoakFleetByteIdentical(t *testing.T) {
 	spec := soakSpec(t)
 	want := soakBaseline(t, spec)
+
+	// The chaos rounds run with witness-trace verification ON while the
+	// baseline ran with it off: the byte comparison below then also pins
+	// the trace-verify observer property (verification must not perturb
+	// the canonical document) under the full fault-injection load.
+	spec.TraceVerify = "4"
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
 
 	maxRounds := 3
 	if *chaosLong {

@@ -397,6 +397,11 @@ func (d *Dispatcher) mergeLocked(jr *JobResult, wasLeased bool) {
 	d.sinceSave++
 	d.metrics.JobsCompleted.Add(1)
 	d.metrics.Iterations.Add(int64(jr.N))
+	// TraceVerifyNs is json:"-" so it arrives zero from remote workers:
+	// checking time is accounted where the checking ran.
+	d.metrics.TracesVerified.Add(jr.TracesVerified)
+	d.metrics.TraceViolations.Add(jr.TraceViolations)
+	d.metrics.TraceVerifyNs.Add(jr.TraceVerifyNs)
 	if wasLeased {
 		d.metrics.InFlight.Add(-1)
 	} else {

@@ -49,6 +49,35 @@ type serverRun struct {
 	// campaign is still running — not only in the final report.
 	failMu      sync.Mutex
 	deadLetters []JobFailure
+
+	// traceReports keeps the first few rendered trace-violation reports
+	// (capped at harness.DefaultTraceReports) so an operator seeing the
+	// trace_violations counter move can read the cycles on the status
+	// endpoint without trawling worker logs. Counts stay exact in
+	// Metrics; only the rendered reports are capped.
+	traceMu      sync.Mutex
+	traceReports []string
+}
+
+func (r *serverRun) collectTraceReports(jr *JobResult) {
+	if len(jr.TraceReports) == 0 {
+		return
+	}
+	r.traceMu.Lock()
+	for _, rep := range jr.TraceReports {
+		if len(r.traceReports) >= harness.DefaultTraceReports {
+			break
+		}
+		r.traceReports = append(r.traceReports, rep)
+	}
+	r.traceMu.Unlock()
+}
+
+func (r *serverRun) traceReportList() []string {
+	r.traceMu.Lock()
+	out := append([]string(nil), r.traceReports...)
+	r.traceMu.Unlock()
+	return out
 }
 
 func (r *serverRun) addDeadLetter(f JobFailure) {
@@ -243,6 +272,9 @@ func writePrometheus(w io.Writer, campaigns, running int, uptimeSec float64, agg
 		{"perple_queue_depth", "gauge", "Jobs waiting for a worker or lease.", float64(agg.QueueDepth)},
 		{"perple_jobs_in_flight", "gauge", "Jobs executing or leased.", float64(agg.InFlight)},
 		{"perple_iterations_total", "counter", "Simulated test iterations completed.", float64(agg.Iterations)},
+		{"perple_traces_verified_total", "counter", "Witness traces checked against the memory model.", float64(agg.TracesVerified)},
+		{"perple_trace_violations_total", "counter", "Witness traces the memory model rejected.", float64(agg.TraceViolations)},
+		{"perple_trace_verify_ns_total", "counter", "Host nanoseconds spent verifying witness traces.", float64(agg.TraceVerifyNs)},
 		{"perple_leases_granted_total", "counter", "Jobs handed to fleet workers.", float64(agg.LeasesGranted)},
 		{"perple_lease_requeues_total", "counter", "Leases expired or failed and requeued.", float64(agg.LeaseRequeues)},
 		{"perple_heartbeats_total", "counter", "Lease extensions from worker heartbeats.", float64(agg.Heartbeats)},
@@ -298,6 +330,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		CheckpointEvery: s.CheckpointEvery,
 		CheckpointFS:    s.CheckpointFS,
 		OnJobFailed:     run.addDeadLetter,
+		OnJobDone:       run.collectTraceReports,
 	}
 	if s.CheckpointDir != "" {
 		opts.CheckpointPath = filepath.Join(s.CheckpointDir, id+".json")
@@ -441,6 +474,10 @@ type runStatus struct {
 	// Axiom carries the static per-test target classification recorded at
 	// submit time (absent when the spec's axiom policy is "off").
 	Axiom map[string]TestAxiom `json:"axiom,omitempty"`
+	// TraceReports holds the first few rendered witness-trace violation
+	// reports when the spec enables trace verification and the machine
+	// actually violated the model.
+	TraceReports []string `json:"trace_reports,omitempty"`
 }
 
 // excludedCount tallies reject-policy exclusions in a classification map.
@@ -484,6 +521,7 @@ func (r *serverRun) status() runStatus {
 	}
 	st.Axiom = r.axiom
 	st.DeadLetters = r.deadLetterList()
+	st.TraceReports = r.traceReportList()
 	return st
 }
 

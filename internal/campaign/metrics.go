@@ -31,6 +31,18 @@ type Metrics struct {
 	// Iterations counts simulated test iterations completed this run.
 	Iterations atomic.Int64
 
+	// Trace-verification counters (witness-trace plane; internal/trace).
+	// Like Iterations they count work done this run, not restored from a
+	// checkpoint; TraceVerifyNs is measured where verification ran, so
+	// fleet campaigns account worker-side checking on the workers.
+
+	// TracesVerified counts rf/co witnesses checked.
+	TracesVerified atomic.Int64
+	// TraceViolations counts witnesses the model rejected.
+	TraceViolations atomic.Int64
+	// TraceVerifyNs is host nanoseconds spent checking witnesses.
+	TraceVerifyNs atomic.Int64
+
 	// Dispatch-layer counters (lease-based worker fleet). Zero for local
 	// runs.
 
@@ -88,6 +100,9 @@ type Snapshot struct {
 	QueueDepth           int64   `json:"queue_depth"`
 	InFlight             int64   `json:"in_flight"`
 	Iterations           int64   `json:"iterations"`
+	TracesVerified       int64   `json:"traces_verified"`
+	TraceViolations      int64   `json:"trace_violations"`
+	TraceVerifyNs        int64   `json:"trace_verify_ns"`
 	LeasesGranted        int64   `json:"leases_granted"`
 	LeaseRequeues        int64   `json:"lease_requeues"`
 	Heartbeats           int64   `json:"heartbeats"`
@@ -119,6 +134,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		QueueDepth:           m.QueueDepth.Load(),
 		InFlight:             m.InFlight.Load(),
 		Iterations:           m.Iterations.Load(),
+		TracesVerified:       m.TracesVerified.Load(),
+		TraceViolations:      m.TraceViolations.Load(),
+		TraceVerifyNs:        m.TraceVerifyNs.Load(),
 		LeasesGranted:        m.LeasesGranted.Load(),
 		LeaseRequeues:        m.LeaseRequeues.Load(),
 		Heartbeats:           m.Heartbeats.Load(),
@@ -154,6 +172,9 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.QueueDepth += o.QueueDepth
 	s.InFlight += o.InFlight
 	s.Iterations += o.Iterations
+	s.TracesVerified += o.TracesVerified
+	s.TraceViolations += o.TraceViolations
+	s.TraceVerifyNs += o.TraceVerifyNs
 	s.LeasesGranted += o.LeasesGranted
 	s.LeaseRequeues += o.LeaseRequeues
 	s.Heartbeats += o.Heartbeats

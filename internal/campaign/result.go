@@ -36,6 +36,18 @@ type JobResult struct {
 	Note string `json:"note,omitempty"`
 	// Retries is how many failed attempts preceded this result.
 	Retries int `json:"retries,omitempty"`
+
+	// Trace-verification tallies (litmus7 tools under Spec.TraceVerify).
+	// Results.Add deliberately ignores all of them: verification is a
+	// pure observer, and folding its tallies into GroupResult would make
+	// the canonical document differ between verified and unverified runs
+	// of the same campaign. They surface through Metrics and the status
+	// endpoints instead. TraceVerifyNs is wall-clock and therefore kept
+	// out of the serialized form entirely, like Litmus7Result.Wall.
+	TracesVerified  int64    `json:"traces_verified,omitempty"`
+	TraceViolations int64    `json:"trace_violations,omitempty"`
+	TraceReports    []string `json:"trace_reports,omitempty"`
+	TraceVerifyNs   int64    `json:"-"`
 }
 
 // JobFailure records a job whose retry budget ran out. Failures are not

@@ -42,15 +42,25 @@ func runJob(ctx context.Context, job Job, test *litmus.Test, spec Spec) (*JobRes
 		if err != nil {
 			return nil, err
 		}
-		res, err := harness.RunLitmus7BatchCtx(ctx, test, job.N, mode, nil, cfg, spec.IntraWorkers)
+		tv := harness.TraceVerify{Every: spec.TraceVerifyEvery()}
+		res, err := harness.RunLitmus7BatchVerifyCtx(ctx, test, job.N, mode, nil, cfg, spec.IntraWorkers, tv)
 		if err != nil {
 			return nil, err
 		}
 		jr.Target = res.TargetCount
 		jr.Ticks = res.Ticks
 		jr.Histogram = res.Histogram
+		jr.TracesVerified = res.TracesVerified
+		jr.TraceViolations = res.TraceViolations
+		jr.TraceReports = res.TraceReports
+		jr.TraceVerifyNs = res.TraceVerifyNs
 		return jr, nil
 	}
+
+	// PerpLE tools run perpetual tests with no per-iteration rf/co
+	// witness, so TraceVerify does not apply to them. The skip is silent:
+	// a Note would enter Results.Groups and break the verified-vs-
+	// unverified byte-identity of the canonical document.
 
 	pt, err := core.Convert(test)
 	if err != nil {

@@ -340,6 +340,9 @@ func (c *Campaign) attemptJob(ctx context.Context, job Job, opts Options, metric
 		if err == nil {
 			jr.Retries = attempt
 			metrics.Iterations.Add(int64(job.N))
+			metrics.TracesVerified.Add(jr.TracesVerified)
+			metrics.TraceViolations.Add(jr.TraceViolations)
+			metrics.TraceVerifyNs.Add(jr.TraceVerifyNs)
 			return jr, nil
 		}
 		if ctx.Err() != nil {

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 
 	"perple/internal/litmus"
@@ -90,6 +91,18 @@ type Spec struct {
 	// changes the job list, the policy is part of the spec's checkpoint
 	// identity.
 	Axiom string `json:"axiom,omitempty"`
+
+	// TraceVerify enables streaming witness-trace verification on the
+	// litmus7 jobs of this campaign: "" or "off" disables it (the
+	// default), "all" verifies every iteration, and a decimal stride k ≥
+	// 1 verifies every k-th iteration against x86-TSO with the
+	// near-linear checker in internal/trace. Verification is a pure
+	// observer — it never changes simulation results or the campaign's
+	// canonical document, only the verification tallies and the /metrics
+	// families — but checkpoints record the setting so a resumed campaign
+	// keeps counting against the same stride. PerpLE-tool jobs have no
+	// per-iteration rf/co witness and skip verification.
+	TraceVerify string `json:"trace_verify,omitempty"`
 }
 
 // Axiom policy values for Spec.Axiom.
@@ -152,6 +165,9 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("campaign: unknown axiom policy %q (want off, warn, or reject)", s.Axiom)
 	}
+	if _, err := ParseTraceVerify(s.TraceVerify); err != nil {
+		return err
+	}
 	for _, tool := range s.Tools {
 		if err := validateTool(tool); err != nil {
 			return err
@@ -163,6 +179,32 @@ func (s *Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ParseTraceVerify resolves a Spec.TraceVerify value to a sampling
+// stride: 0 for off, 1 for "all" or "1", k for a decimal "k" ≥ 1.
+// Unlike the other spec knobs the empty value stays off rather than
+// being default-filled: verification costs real time per sampled
+// iteration and must be an explicit opt-in.
+func ParseTraceVerify(v string) (int, error) {
+	switch v {
+	case "", "off":
+		return 0, nil
+	case "all":
+		return 1, nil
+	}
+	k, err := strconv.Atoi(v)
+	if err != nil || k < 1 {
+		return 0, fmt.Errorf("campaign: bad trace_verify %q (want off, all, or a stride ≥ 1)", v)
+	}
+	return k, nil
+}
+
+// TraceVerifyEvery is the spec's resolved witness-sampling stride (0 =
+// verification off). Call only after Validate.
+func (s *Spec) TraceVerifyEvery() int {
+	k, _ := ParseTraceVerify(s.TraceVerify)
+	return k
 }
 
 func validateTool(tool string) error {

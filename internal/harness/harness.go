@@ -44,6 +44,16 @@ type Litmus7Result struct {
 	Wall time.Duration
 	// Trace holds the machine-event trace when Config.TraceSize > 0.
 	Trace *sim.Trace
+
+	// TracesVerified and TraceViolations count witnesses checked and
+	// rejected when trace verification is on (see TraceVerify);
+	// TraceVerifyNs is host time spent checking. TraceReports holds up
+	// to the configured cap of rendered violation reports. All stay
+	// zero/nil when verification is off.
+	TracesVerified  int64
+	TraceViolations int64
+	TraceVerifyNs   int64
+	TraceReports    []string
 }
 
 // Merge folds another shard's result of the same test and mode into r:
@@ -73,6 +83,15 @@ func (r *Litmus7Result) Merge(o *Litmus7Result) error {
 	}
 	for k, v := range o.Histogram {
 		r.Histogram[k] += v
+	}
+	r.TracesVerified += o.TracesVerified
+	r.TraceViolations += o.TraceViolations
+	r.TraceVerifyNs += o.TraceVerifyNs
+	for _, rep := range o.TraceReports {
+		if len(r.TraceReports) >= DefaultTraceReports {
+			break
+		}
+		r.TraceReports = append(r.TraceReports, rep)
 	}
 	return nil
 }

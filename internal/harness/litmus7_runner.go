@@ -3,12 +3,11 @@ package harness
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"perple/internal/litmus"
 	"perple/internal/sim"
+	"perple/internal/trace"
 )
 
 // Litmus7Runner executes litmus7-style runs of one compiled test on a
@@ -31,6 +30,11 @@ type Litmus7Runner struct {
 	outcomes []compiledOutcome
 	hist     *outcomeHist
 	res      Litmus7Result
+
+	// tv/checker drive optional witness-trace verification; see
+	// SetTraceVerify. checker is nil when verification is off.
+	tv      TraceVerify
+	checker *trace.Checker
 }
 
 // NewLitmus7Runner builds a reusable litmus7-style runner over a
@@ -75,6 +79,12 @@ func (lr *Litmus7Runner) Run(n int, mode sim.Mode, cfg sim.Config) (*Litmus7Resu
 // semantics.
 func (lr *Litmus7Runner) RunCtx(ctx context.Context, n int, mode sim.Mode, cfg sim.Config) (*Litmus7Result, error) {
 	start := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
+	if lr.checker != nil {
+		// Witness recording is a pure observer of the machine, so the
+		// override cannot perturb the run (the sim determinism suite
+		// asserts this).
+		cfg.WitnessEvery = lr.tv.Every
+	}
 	simRes, err := lr.runner.RunSyncedCtx(ctx, n, mode, cfg)
 	if err != nil {
 		return nil, err
@@ -88,6 +98,13 @@ func (lr *Litmus7Runner) RunCtx(ctx context.Context, n int, mode sim.Mode, cfg s
 	res.Ticks = simRes.Ticks
 	res.Wall = 0
 	res.Trace = simRes.Trace
+	res.TracesVerified, res.TraceViolations, res.TraceVerifyNs = 0, 0, 0
+	res.TraceReports = res.TraceReports[:0]
+	if lr.checker != nil {
+		if err := lr.verifyWitnesses(ctx, simRes.Witnesses, res); err != nil {
+			return nil, err
+		}
+	}
 	lr.hist.resetCounts()
 	done := ctx.Done()
 	for iter := 0; iter < n; iter++ {
@@ -131,65 +148,5 @@ func RunLitmus7Batch(t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Out
 // cfg, workers) regardless of scheduling. Trace, when enabled, is the
 // first worker's.
 func RunLitmus7BatchCtx(ctx context.Context, t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome, cfg sim.Config, workers int) (*Litmus7Result, error) {
-	start := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
-	ct, err := sim.Compile(t)
-	if err != nil {
-		return nil, err
-	}
-	if n < 0 {
-		return nil, fmt.Errorf("harness: negative iteration count %d", n)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	runners := make([]*Litmus7Runner, workers)
-	for w := range runners {
-		if runners[w], err = NewLitmus7Runner(ct, outcomes); err != nil {
-			return nil, err
-		}
-	}
-	results := make([]*Litmus7Result, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := n*w/workers, n*(w+1)/workers
-		wg.Add(1)
-		go func(w, n int) {
-			defer wg.Done()
-			results[w], errs[w] = runners[w].RunCtx(ctx, n, mode, cfg.WithSeed(sim.WorkerSeed(cfg.Seed, w)))
-		}(w, hi-lo)
-	}
-	wg.Wait()
-	for w, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("harness: batch worker %d: %w", w, err)
-		}
-	}
-
-	out := &Litmus7Result{
-		Test:          t,
-		Mode:          mode,
-		N:             n,
-		Histogram:     map[string]int64{},
-		OutcomeCounts: make([]int64, len(outcomes)),
-		Trace:         results[0].Trace,
-	}
-	merged := newOutcomeHist(ct.RegCounts())
-	for w, r := range results {
-		out.TargetCount += r.TargetCount
-		out.Ticks += r.Ticks
-		for i, v := range r.OutcomeCounts {
-			out.OutcomeCounts[i] += v
-		}
-		merged.merge(runners[w].hist)
-	}
-	merged.materializeInto(out.Histogram)
-	out.Wall = time.Since(start) //nodeterminism:allow wall-clock telemetry; never feeds results
-	return out, nil
+	return RunLitmus7BatchVerifyCtx(ctx, t, n, mode, outcomes, cfg, workers, TraceVerify{})
 }

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"perple/internal/litmus"
+	"perple/internal/memmodel"
+	"perple/internal/sim"
+	"perple/internal/trace"
+)
+
+// TraceVerify configures streaming witness-trace verification of
+// litmus7-style runs: the simulator records an rf/co witness for every
+// Every-th iteration and the near-linear trace checker validates each
+// against the model as results are tallied.
+type TraceVerify struct {
+	// Every is the sampling stride: 0 disables verification, 1 verifies
+	// every iteration, k > 1 verifies every k-th.
+	Every int
+
+	// SC, when set, verifies against sequential consistency instead of
+	// x86-TSO. The default (TSO) is the machine's contract; SC exists
+	// for experiments and will flag ordinary store buffering. (A bool
+	// rather than a memmodel.Model because that type's zero value is
+	// SC, which would make the dangerous model the silent default.)
+	SC bool
+
+	// MaxReports caps the rendered violation reports kept per run; 0
+	// selects DefaultTraceReports. Counts are always exact.
+	MaxReports int
+}
+
+// DefaultTraceReports is the per-run violation report cap when
+// TraceVerify.MaxReports is zero.
+const DefaultTraceReports = 4
+
+// model resolves the verification model.
+func (tv TraceVerify) model() memmodel.Model {
+	if tv.SC {
+		return memmodel.SC
+	}
+	return memmodel.TSO
+}
+
+// reports resolves the report cap.
+func (tv TraceVerify) reports() int {
+	if tv.MaxReports <= 0 {
+		return DefaultTraceReports
+	}
+	return tv.MaxReports
+}
+
+// SetTraceVerify configures witness verification for subsequent runs of
+// this runner (pass a zero TraceVerify to disable). The checker is
+// compiled once and reused across runs.
+func (lr *Litmus7Runner) SetTraceVerify(tv TraceVerify) error {
+	if tv.Every < 0 {
+		return fmt.Errorf("harness: negative trace-verify stride %d", tv.Every)
+	}
+	if tv.Every == 0 {
+		lr.tv, lr.checker = TraceVerify{}, nil
+		return nil
+	}
+	c, err := trace.NewCheckerLayout(lr.ct.WitnessLayout(), tv.model())
+	if err != nil {
+		return err
+	}
+	lr.tv, lr.checker = tv, c
+	return nil
+}
+
+// verifyWitnesses checks every recorded witness of a run, filling the
+// result's trace-verification tallies.
+func (lr *Litmus7Runner) verifyWitnesses(ctx context.Context, w *trace.WitnessSet, res *Litmus7Result) error {
+	start := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
+	done := ctx.Done()
+	cap := lr.tv.reports()
+	for s := 0; s < w.Slots; s++ {
+		if done != nil && s&1023 == 0 {
+			select {
+			case <-done:
+				return fmt.Errorf("harness: trace verification aborted: %w", ctx.Err())
+			default:
+			}
+		}
+		v, err := lr.checker.Check(w, s)
+		if err != nil {
+			return fmt.Errorf("harness: %w", err)
+		}
+		res.TracesVerified++
+		if v != nil {
+			res.TraceViolations++
+			if len(res.TraceReports) < cap {
+				res.TraceReports = append(res.TraceReports, v.Format())
+			}
+		}
+	}
+	res.TraceVerifyNs += time.Since(start).Nanoseconds() //nodeterminism:allow wall-clock telemetry; never feeds results
+	return nil
+}
+
+// RunLitmus7BatchVerify is RunLitmus7BatchVerifyCtx without a context.
+func RunLitmus7BatchVerify(t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome, cfg sim.Config, workers int, tv TraceVerify) (*Litmus7Result, error) {
+	return RunLitmus7BatchVerifyCtx(context.Background(), t, n, mode, outcomes, cfg, workers, tv)
+}
+
+// RunLitmus7BatchVerifyCtx is RunLitmus7BatchCtx with witness-trace
+// verification: each worker records and checks witnesses at the
+// configured stride, and the merged result carries the summed tallies
+// plus up to MaxReports rendered violation reports (first workers
+// first, deterministically). Verification reads the simulation but
+// never perturbs it, so histograms and tallies are bit-identical to an
+// unverified batch with the same arguments.
+func RunLitmus7BatchVerifyCtx(ctx context.Context, t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome, cfg sim.Config, workers int, tv TraceVerify) (*Litmus7Result, error) {
+	start := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
+	ct, err := sim.Compile(t)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("harness: negative iteration count %d", n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	runners := make([]*Litmus7Runner, workers)
+	for w := range runners {
+		if runners[w], err = NewLitmus7Runner(ct, outcomes); err != nil {
+			return nil, err
+		}
+		if err = runners[w].SetTraceVerify(tv); err != nil {
+			return nil, err
+		}
+	}
+	results := make([]*Litmus7Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			results[w], errs[w] = runners[w].RunCtx(ctx, n, mode, cfg.WithSeed(sim.WorkerSeed(cfg.Seed, w)))
+		}(w, hi-lo)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: batch worker %d: %w", w, err)
+		}
+	}
+
+	out := &Litmus7Result{
+		Test:          t,
+		Mode:          mode,
+		N:             n,
+		Histogram:     map[string]int64{},
+		OutcomeCounts: make([]int64, len(outcomes)),
+		Trace:         results[0].Trace,
+	}
+	merged := newOutcomeHist(ct.RegCounts())
+	reportCap := tv.reports()
+	for w, r := range results {
+		out.TargetCount += r.TargetCount
+		out.Ticks += r.Ticks
+		for i, v := range r.OutcomeCounts {
+			out.OutcomeCounts[i] += v
+		}
+		out.TracesVerified += r.TracesVerified
+		out.TraceViolations += r.TraceViolations
+		out.TraceVerifyNs += r.TraceVerifyNs
+		for _, rep := range r.TraceReports {
+			if len(out.TraceReports) < reportCap {
+				out.TraceReports = append(out.TraceReports, rep)
+			}
+		}
+		merged.merge(runners[w].hist)
+	}
+	merged.materializeInto(out.Histogram)
+	out.Wall = time.Since(start) //nodeterminism:allow wall-clock telemetry; never feeds results
+	return out, nil
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"perple/internal/core"
 	"perple/internal/litmus"
+	"perple/internal/trace"
 )
 
 // CompiledTest is a litmus test lowered for the synced-mode machine:
@@ -17,12 +18,17 @@ type CompiledTest struct {
 	locIdx    map[litmus.Loc]int
 	progs     [][]simInstr
 	regCounts []int
+	layout    *trace.Layout
 }
 
 // Compile validates and lowers a litmus test for the synced-mode
 // machine.
 func Compile(t *litmus.Test) (*CompiledTest, error) {
-	if err := t.Validate(); err != nil {
+	// The witness layout validates the test and fixes the dense load
+	// numbering the compiled programs share (loads in (thread,
+	// instruction) order), so witness recording needs no per-run setup.
+	layout, err := trace.NewLayout(t)
+	if err != nil {
 		return nil, err
 	}
 	locs := t.Locs()
@@ -32,16 +38,22 @@ func Compile(t *litmus.Test) (*CompiledTest, error) {
 		locIdx:    make(map[litmus.Loc]int, len(locs)),
 		progs:     make([][]simInstr, len(t.Threads)),
 		regCounts: t.Regs(),
+		layout:    layout,
 	}
 	for i, l := range locs {
 		ct.locIdx[l] = i
 	}
+	nextLoad := int32(0)
 	for ti := range t.Threads {
 		prog := make([]simInstr, 0, len(t.Threads[ti].Instrs))
 		for _, in := range t.Threads[ti].Instrs {
-			si := simInstr{kind: in.Kind, reg: in.Reg, val: in.Value}
+			si := simInstr{kind: in.Kind, reg: in.Reg, val: in.Value, widx: -1}
 			if in.Kind != litmus.OpFence {
 				si.locIdx = ct.locIdx[in.Loc]
+			}
+			if in.Kind == litmus.OpLoad {
+				si.widx = nextLoad
+				nextLoad++
 			}
 			prog = append(prog, si)
 		}
@@ -66,6 +78,10 @@ func (ct *CompiledTest) LocIdx(l litmus.Loc) (int, bool) {
 // RegCounts returns the per-thread register counts. Callers must not
 // modify the returned slice.
 func (ct *CompiledTest) RegCounts() []int { return ct.regCounts }
+
+// WitnessLayout returns the compiled witness layout (shared, immutable);
+// witnesses on a SyncedResult are expressed against it.
+func (ct *CompiledTest) WitnessLayout() *trace.Layout { return ct.layout }
 
 // CompiledPerpetual is a perpetual test lowered for the machine: store
 // instructions resolved to their arithmetic sequences, loads to their

@@ -27,6 +27,7 @@ type configJSON struct {
 	ExhFrameTick     float64 `json:"exh_frame_tick"`
 	HeurFrameTick    float64 `json:"heur_frame_tick"`
 	TraceSize        int     `json:"trace_size,omitempty"`
+	WitnessEvery     int     `json:"witness_every,omitempty"`
 }
 
 // MarshalJSON serializes the config with the relaxation as a model name.
@@ -48,6 +49,7 @@ func (c Config) MarshalJSON() ([]byte, error) {
 		ExhFrameTick:     c.ExhFrameTick,
 		HeurFrameTick:    c.HeurFrameTick,
 		TraceSize:        c.TraceSize,
+		WitnessEvery:     c.WitnessEvery,
 	})
 }
 
@@ -101,6 +103,7 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 		ExhFrameTick:     cj.ExhFrameTick,
 		HeurFrameTick:    cj.HeurFrameTick,
 		TraceSize:        cj.TraceSize,
+		WitnessEvery:     cj.WitnessEvery,
 	}
 	return c.validate()
 }

@@ -33,6 +33,7 @@ type simInstr struct {
 	k, a   int64 // arithmetic sequence (perpetual mode)
 	reg    int   // destination register (synced mode)
 	slot   int   // buf slot (perpetual mode)
+	widx   int32 // dense load index for witness recording; -1 when not a synced load
 }
 
 // simThread is one core executing a test thread.
@@ -56,6 +57,7 @@ type machine struct {
 	mem     []int64
 	threads []*simThread
 	trace   *Trace
+	wit     *witnessRec // rf/co witness recorder; nil when recording is off
 	locs    []litmus.Loc
 	cells   int // memory cells per location (N for synced runs, 1 for perpetual)
 
@@ -154,6 +156,9 @@ func (m *machine) applyDrains(upTo int64) {
 		th := m.threads[best]
 		e := th.buf.removeAt(bestIdx)
 		m.mem[e.memIdx] = e.val
+		if m.wit != nil {
+			m.wit.drain(e.memIdx, e.val)
+		}
 		if m.trace != nil {
 			m.trace.add(TraceEvent{Time: e.drainAt, Thread: th.id, Kind: TraceDrain, Loc: m.locOf(e.memIdx), Value: e.val})
 		}
@@ -195,8 +200,9 @@ func (m *machine) store(th *simThread, memIdx int, val int64) {
 
 // load returns the value visible to the thread: its own newest buffered
 // store to the cell (forwarding) or shared memory, then advances the
-// clock.
-func (m *machine) load(th *simThread, memIdx int) int64 {
+// clock. widx is the load's dense witness index (-1 outside synced
+// witness recording).
+func (m *machine) load(th *simThread, memIdx int, widx int32) int64 {
 	m.applyDrains(th.time)
 	v := int64(-1)
 	forwarded := false
@@ -208,6 +214,9 @@ func (m *machine) load(th *simThread, memIdx int) int64 {
 	}
 	if !forwarded {
 		v = m.mem[memIdx]
+	}
+	if m.wit != nil && widx >= 0 {
+		m.wit.load(widx, memIdx, v, forwarded)
 	}
 	if m.trace != nil {
 		m.trace.add(TraceEvent{Time: th.time, Thread: th.id, Kind: TraceLoad, Loc: m.locOf(memIdx),
@@ -331,7 +340,7 @@ func (m *machine) step(th *simThread, res *SyncedResult) {
 	case litmus.OpStore:
 		m.store(th, base, in.val)
 	case litmus.OpLoad:
-		v := m.load(th, base)
+		v := m.load(th, base, in.widx)
 		res.Regs[th.id][th.iter*res.RegCounts[th.id]+in.reg] = v
 	case litmus.OpFence:
 		m.fence(th)
@@ -358,7 +367,7 @@ func (m *machine) runPerpetual(ctx context.Context, n int, bufs *core.BufSet, re
 		case litmus.OpStore:
 			m.store(th, in.locIdx, in.k*int64(th.iter)+in.a)
 		case litmus.OpLoad:
-			v := m.load(th, in.locIdx)
+			v := m.load(th, in.locIdx, -1)
 			bufs.Bufs[th.id][reads[th.id]*th.iter+in.slot] = v
 		case litmus.OpFence:
 			m.fence(th)

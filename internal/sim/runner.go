@@ -26,6 +26,7 @@ type Runner struct {
 	m       machine
 	threads []simThread
 	res     SyncedResult
+	wit     *witnessRec // lazily built on first witness-recording run
 }
 
 // NewRunner builds a reusable synced-mode runner for a compiled test.
@@ -80,6 +81,15 @@ func (r *Runner) RunSyncedCtx(ctx context.Context, n int, mode Mode, cfg Config)
 	res.N = n
 	res.Ticks = 0
 	res.Trace = m.trace
+	m.wit, res.Witnesses = nil, nil
+	if cfg.WitnessEvery > 0 {
+		if r.wit == nil {
+			r.wit = newWitnessRec(r.ct.layout)
+		}
+		r.wit.reset(n, cfg.WitnessEvery, len(m.mem))
+		m.wit = r.wit
+		res.Witnesses = r.wit.set
+	}
 	if n == 0 {
 		return res, nil
 	}
@@ -140,6 +150,9 @@ func (r *PerpetualRunner) Run(n int, cfg Config) (*PerpetualResult, error) {
 func (r *PerpetualRunner) RunCtx(ctx context.Context, n int, cfg Config) (*PerpetualResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.WitnessEvery > 0 {
+		return nil, fmt.Errorf("sim: witness recording (WitnessEvery=%d) is synced-mode only", cfg.WitnessEvery)
 	}
 	if n < 0 {
 		return nil, fmt.Errorf("sim: negative iteration count %d", n)

@@ -21,6 +21,7 @@ import (
 	"perple/internal/core"
 	"perple/internal/litmus"
 	"perple/internal/memmodel"
+	"perple/internal/trace"
 )
 
 // Mode is a litmus7 thread-synchronization mode (Section VI-A of the
@@ -173,6 +174,13 @@ type Config struct {
 	// (stores, drains, loads, fences, preemptions) on the run result for
 	// debugging. Zero disables tracing at no cost.
 	TraceSize int
+
+	// WitnessEvery, when positive, records an rf/co witness for every
+	// WitnessEvery-th iteration of a synced run (1 = every iteration)
+	// into SyncedResult.Witnesses. Zero disables recording at no cost
+	// beyond a nil check per load and drain. Synced modes only;
+	// perpetual runs reject it.
+	WitnessEvery int
 }
 
 // DefaultConfig returns the calibrated timing model used throughout the
@@ -215,6 +223,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("sim: invalid preemption probability %g", c.PreemptProb)
 	case c.PreemptProb > 0 && c.PreemptMax < c.PreemptMin:
 		return fmt.Errorf("sim: invalid preemption range [%d,%d]", c.PreemptMin, c.PreemptMax)
+	case c.WitnessEvery < 0:
+		return fmt.Errorf("sim: negative witness sampling stride %d", c.WitnessEvery)
 	}
 	return nil
 }
@@ -245,6 +255,11 @@ type SyncedResult struct {
 	Ticks int64
 	// Trace holds the recorded machine events when Config.TraceSize > 0.
 	Trace *Trace
+	// Witnesses holds the recorded rf/co witnesses when
+	// Config.WitnessEvery > 0 (nil otherwise). Like Regs and Mem it
+	// aliases the Runner's reusable buffers and is valid only until the
+	// next run.
+	Witnesses *trace.WitnessSet
 }
 
 // RegisterFile returns the register file view of iteration n.

@@ -1,0 +1,436 @@
+package trace
+
+import (
+	"fmt"
+
+	"perple/internal/litmus"
+	"perple/internal/memmodel"
+)
+
+// relKind labels an edge of the happens-before graph for cycle reports.
+type relKind uint8
+
+const (
+	relPo relKind = iota
+	relPpo
+	relPoLoc
+	relRf
+	relCo
+	relFr
+)
+
+func (r relKind) String() string {
+	switch r {
+	case relPo:
+		return "po"
+	case relPpo:
+		return "ppo"
+	case relPoLoc:
+		return "po-loc"
+	case relRf:
+		return "rf"
+	case relCo:
+		return "co"
+	case relFr:
+		return "fr"
+	default:
+		return fmt.Sprintf("rel(%d)", int(r))
+	}
+}
+
+// edge is one labelled happens-before edge between dense event indices.
+type edge struct {
+	from, to int32
+	rel      relKind
+}
+
+// pass selects which axiom's edge set a topological pass checks.
+type pass uint8
+
+const (
+	passCoherence pass = iota // po-loc ∪ rf ∪ co ∪ fr
+	passTSO                   // ppo ∪ mfence ∪ rfe ∪ co ∪ fr
+	passSC                    // po ∪ rf ∪ co ∪ fr
+)
+
+func (p pass) axiom() string {
+	switch p {
+	case passCoherence:
+		return "coherence"
+	case passTSO:
+		return "tso-ghb"
+	default:
+		return "sc"
+	}
+}
+
+func (p pass) union() string {
+	switch p {
+	case passCoherence:
+		return "po-loc ∪ rf ∪ co ∪ fr"
+	case passTSO:
+		return "ppo ∪ mfence ∪ rfe ∪ co ∪ fr"
+	default:
+		return "po ∪ rf ∪ co ∪ fr"
+	}
+}
+
+// Checker validates witnesses of one test against a memory model in
+// near-linear time per witness: the happens-before union has O(events)
+// edges (static program-order chains plus one rf, one co-adjacency and
+// one fr edge per dynamic event), and a Kahn topological pass over
+// reusable scratch decides acyclicity in O(events). A Checker is not
+// safe for concurrent use; share the Layout and give each goroutine its
+// own Checker.
+//
+// Axioms mirror internal/axiom:
+//
+//	coherence:  po-loc ∪ rf ∪ co ∪ fr acyclic   (checked under TSO)
+//	x86-TSO:    ppo ∪ mfence ∪ rfe ∪ co ∪ fr acyclic
+//	SC:         po ∪ rf ∪ co ∪ fr acyclic        (subsumes coherence)
+//
+// fr is derived: each load precedes the immediate co-successor of the
+// store it read (the co chain supplies the rest transitively), and a
+// load of init precedes the location's co-first store.
+type Checker struct {
+	l     *Layout
+	model memmodel.Model
+
+	// Per-witness scratch, reused across Check calls.
+	coNext  []int32 // dense store -> co-successor in its location, -1 at the tail
+	coFirst []int32 // location -> co-first store, -1 when storeless
+	coSeen  []bool  // dense store -> appeared in this slot's Co
+	edges   []edge
+	eoff    []int32 // CSR offsets into csr, len NEvents+1
+	csr     []edge  // edges sorted by from
+	indeg   []int32
+	queue   []int32
+	prevEdg []int32 // BFS: index into csr of the edge that reached the node
+	dist    []int32
+}
+
+// NewChecker compiles a checker for the test under the model
+// (memmodel.TSO or memmodel.SC).
+func NewChecker(t *litmus.Test, model memmodel.Model) (*Checker, error) {
+	l, err := NewLayout(t)
+	if err != nil {
+		return nil, err
+	}
+	return NewCheckerLayout(l, model)
+}
+
+// NewCheckerLayout builds a checker over an existing layout.
+func NewCheckerLayout(l *Layout, model memmodel.Model) (*Checker, error) {
+	if model != memmodel.TSO && model != memmodel.SC {
+		return nil, fmt.Errorf("trace: unsupported model %v (want TSO or SC)", model)
+	}
+	n := l.NEvents()
+	return &Checker{
+		l:       l,
+		model:   model,
+		coNext:  make([]int32, l.NStores()),
+		coFirst: make([]int32, len(l.locs)),
+		coSeen:  make([]bool, l.NStores()),
+		eoff:    make([]int32, n+1),
+		indeg:   make([]int32, n),
+		queue:   make([]int32, 0, n),
+		prevEdg: make([]int32, n),
+		dist:    make([]int32, n),
+	}, nil
+}
+
+// Layout returns the compiled test layout.
+func (c *Checker) Layout() *Layout { return c.l }
+
+// Model returns the model the checker validates against.
+func (c *Checker) Model() memmodel.Model { return c.model }
+
+// Check validates slot s of the witness set. It returns a non-nil
+// Violation when the witness is inconsistent with the model, and an
+// error when the witness is malformed (rf naming a store of another
+// location, co not a permutation of the location's stores) — the
+// distinction matters because a malformed witness indicts the recorder,
+// not the machine.
+func (c *Checker) Check(w *WitnessSet, s int) (*Violation, error) {
+	if w.Layout() != c.l {
+		return nil, fmt.Errorf("trace: witness layout mismatch (test %s)", c.l.test.Name)
+	}
+	if s < 0 || s >= w.Slots {
+		return nil, fmt.Errorf("trace: slot %d out of range [0,%d)", s, w.Slots)
+	}
+	if err := c.prepare(w, s); err != nil {
+		return nil, fmt.Errorf("trace: %s slot %d: %w", c.l.test.Name, s, err)
+	}
+	if c.model == memmodel.SC {
+		return c.run(w, s, passSC), nil
+	}
+	if v := c.run(w, s, passCoherence); v != nil {
+		return v, nil
+	}
+	return c.run(w, s, passTSO), nil
+}
+
+// prepare validates the slot's witness and builds the co successor
+// tables: coNext chains each location's stores in drain order, coFirst
+// anchors the init pseudo-store's position.
+func (c *Checker) prepare(w *WitnessSet, s int) error {
+	l := c.l
+	for i := range c.coFirst {
+		c.coFirst[i] = -1
+	}
+	for i := range c.coNext {
+		c.coNext[i] = -1
+		c.coSeen[i] = false
+	}
+	// prev[loc] tracks the location's latest store while walking the
+	// global drain order; coFirst doubles as the "no store yet" marker.
+	co := w.CoAt(s)
+	prev := c.dist[:len(l.locs)] // borrow scratch; rewritten by every pass
+	for i := range prev {
+		prev[i] = -1
+	}
+	for _, st := range co {
+		if st < 0 || int(st) >= l.NStores() {
+			return fmt.Errorf("malformed witness: co entry %d out of store range", st)
+		}
+		if c.coSeen[st] {
+			return fmt.Errorf("malformed witness: store %s appears twice in co", l.StoreRef(st))
+		}
+		c.coSeen[st] = true
+		loc := l.storeLoc[st]
+		if prev[loc] < 0 {
+			c.coFirst[loc] = st
+		} else {
+			c.coNext[prev[loc]] = st
+		}
+		prev[loc] = st
+	}
+	for st := range c.coSeen {
+		if !c.coSeen[st] {
+			return fmt.Errorf("malformed witness: store %s missing from co", l.StoreRef(int32(st)))
+		}
+	}
+	rf := w.RFAt(s)
+	for k, src := range rf {
+		if src < -1 || int(src) >= l.NStores() {
+			return fmt.Errorf("malformed witness: rf source %d of load %s out of range", src, l.LoadRef(int32(k)))
+		}
+		if src >= 0 && l.storeLoc[src] != l.loadLoc[k] {
+			return fmt.Errorf("malformed witness: load %s of [%s] reads store %s of [%s]",
+				l.LoadRef(int32(k)), l.locs[l.loadLoc[k]], l.StoreRef(src), l.locs[l.storeLoc[src]])
+		}
+	}
+	return nil
+}
+
+// run builds one pass's edge set and topologically sorts it, returning
+// a Violation with a minimal cycle when the graph is cyclic.
+func (c *Checker) run(w *WitnessSet, s int, p pass) *Violation {
+	l := c.l
+	c.edges = c.edges[:0]
+
+	// Static program-order edges.
+	switch p {
+	case passCoherence:
+		for ev, next := range l.poLocNext {
+			if next >= 0 {
+				c.edges = append(c.edges, edge{int32(ev), next, relPoLoc})
+			}
+		}
+	case passSC:
+		for ev, next := range l.poNext {
+			if next >= 0 {
+				c.edges = append(c.edges, edge{int32(ev), next, relPo})
+			}
+		}
+	case passTSO:
+		for ev := range l.events {
+			if next := l.nextNonLoad[ev]; next >= 0 {
+				c.edges = append(c.edges, edge{int32(ev), next, relPpo})
+			}
+			if l.events[ev].kind != litmus.OpStore {
+				if next := l.nextLoad[ev]; next >= 0 {
+					c.edges = append(c.edges, edge{int32(ev), next, relPpo})
+				}
+			}
+		}
+	}
+
+	// Dynamic edges: rf (external only under TSO's ghb — a same-thread
+	// rf is forwarding and does not prove the store reached memory), the
+	// co chains, and the derived fr edge of every load.
+	rf := w.RFAt(s)
+	for k, src := range rf {
+		if src >= 0 {
+			le, se := l.loadEv[k], l.storeEv[src]
+			if p != passTSO || l.events[se].thread != l.events[le].thread {
+				c.edges = append(c.edges, edge{se, le, relRf})
+			}
+		}
+		next := int32(-1)
+		if src >= 0 {
+			next = c.coNext[src]
+		} else {
+			next = c.coFirst[l.loadLoc[k]]
+		}
+		if next >= 0 {
+			c.edges = append(c.edges, edge{l.loadEv[k], l.storeEv[next], relFr})
+		}
+	}
+	for st, next := range c.coNext {
+		if next >= 0 {
+			c.edges = append(c.edges, edge{l.storeEv[st], l.storeEv[next], relCo})
+		}
+	}
+
+	if c.kahn() {
+		return nil
+	}
+	return c.violation(w, s, p)
+}
+
+// kahn topologically sorts the current edge set over CSR-packed
+// adjacency, returning true when the graph is acyclic. On a cycle the
+// residual indegrees (and the CSR) are left in place for extraction.
+func (c *Checker) kahn() bool {
+	n := c.l.NEvents()
+	for i := 0; i < n; i++ {
+		c.indeg[i] = 0
+		c.eoff[i] = 0
+	}
+	c.eoff[n] = 0
+	for _, e := range c.edges {
+		c.indeg[e.to]++
+		c.eoff[e.from+1]++
+	}
+	for i := 0; i < n; i++ {
+		c.eoff[i+1] += c.eoff[i]
+	}
+	if cap(c.csr) < len(c.edges) {
+		c.csr = make([]edge, len(c.edges))
+	}
+	c.csr = c.csr[:len(c.edges)]
+	// Counting sort by source; fill cursors borrow dist scratch.
+	cur := c.dist[:0]
+	cur = append(cur, c.eoff[:n]...)
+	for _, e := range c.edges {
+		c.csr[cur[e.from]] = e
+		cur[e.from]++
+	}
+
+	q := c.queue[:0]
+	for i := 0; i < n; i++ {
+		if c.indeg[i] == 0 {
+			q = append(q, int32(i))
+		}
+	}
+	processed := 0
+	for len(q) > 0 {
+		node := q[0]
+		q = q[1:]
+		processed++
+		for i := c.eoff[node]; i < c.eoff[node+1]; i++ {
+			to := c.csr[i].to
+			c.indeg[to]--
+			if c.indeg[to] == 0 {
+				q = append(q, to)
+			}
+		}
+	}
+	return processed == n
+}
+
+// violation extracts a minimal cycle from the residual graph left by a
+// failed kahn pass: nodes with positive residual indegree are the union
+// of all cycles and their downstream cones; a BFS from each candidate,
+// restricted to residual nodes, finds the shortest path back to itself,
+// and the overall shortest (first on ties, in event order) is reported.
+// Violations are cold, so the quadratic sweep costs nothing in the
+// common all-consistent stream.
+func (c *Checker) violation(w *WitnessSet, s int, p pass) *Violation {
+	n := c.l.NEvents()
+	bestLen := int32(-1)
+	var best []int32 // csr edge indices of the winning cycle, in order
+	for root := int32(0); root < int32(n); root++ {
+		if c.indeg[root] <= 0 {
+			continue
+		}
+		if cyc := c.shortestCycleFrom(root, bestLen); cyc != nil {
+			best, bestLen = cyc, int32(len(cyc))
+		}
+	}
+	v := &Violation{
+		Test:  c.l.test,
+		Model: c.model,
+		Axiom: p.axiom(),
+		Union: p.union(),
+		Iter:  w.Iter(s),
+		RF:    append([]int32(nil), w.RFAt(s)...),
+		Co:    append([]int32(nil), w.CoAt(s)...),
+	}
+	for _, ei := range best {
+		e := c.csr[ei]
+		v.Cycle = append(v.Cycle, CycleEdge{
+			From: c.l.eventRefOf(e.from),
+			To:   c.l.eventRefOf(e.to),
+			Rel:  e.rel.String(),
+		})
+	}
+	return v
+}
+
+// shortestCycleFrom BFSes the residual subgraph for the shortest path
+// root → … → root, returning its csr edge indices, or nil when none
+// shorter than bound exists (bound < 0 means unbounded).
+func (c *Checker) shortestCycleFrom(root, bound int32) []int32 {
+	n := c.l.NEvents()
+	for i := 0; i < n; i++ {
+		c.dist[i] = -1
+		c.prevEdg[i] = -1
+	}
+	q := c.queue[:0]
+	c.dist[root] = 0
+	q = append(q, root)
+	var closing int32 = -1 // csr index of the edge that closes the cycle
+	var closeAt int32
+	for qi := 0; qi < len(q) && closing < 0; qi++ {
+		node := q[qi]
+		if bound >= 0 && c.dist[node]+1 >= bound {
+			continue
+		}
+		for i := c.eoff[node]; i < c.eoff[node+1]; i++ {
+			to := c.csr[i].to
+			if c.indeg[to] <= 0 {
+				continue // not part of the residual graph
+			}
+			if to == root {
+				closing, closeAt = i, node
+				break
+			}
+			if c.dist[to] < 0 {
+				c.dist[to] = c.dist[node] + 1
+				c.prevEdg[to] = i
+				q = append(q, to)
+			}
+		}
+	}
+	if closing < 0 {
+		return nil
+	}
+	var rev []int32
+	rev = append(rev, closing)
+	for at := closeAt; at != root; {
+		ei := c.prevEdg[at]
+		rev = append(rev, ei)
+		at = c.csr[ei].from
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func (l *Layout) eventRefOf(ev int32) EventRef {
+	e := &l.events[ev]
+	return EventRef{Thread: int(e.thread), Index: int(e.index)}
+}

@@ -8,7 +8,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PAT=${BENCH_PAT:-'BenchmarkSim|BenchmarkCount|BenchmarkFleet'}
+PAT=${BENCH_PAT:-'BenchmarkSim|BenchmarkCount|BenchmarkFleet|BenchmarkTrace'}
 TIME=${BENCH_TIME:-2x}
 OUT=${BENCH_OUT:-BENCH_simcore.json}
 
