@@ -183,6 +183,34 @@ func BenchmarkCountExhaustiveTL3(b *testing.B) {
 	}
 }
 
+// BenchmarkCountFactorized measures the factorized exact counter on the
+// same workloads as the odometer benchmarks above: sb (TL=2, pairwise
+// matrix) and podwr001 (TL=3, triangle loop). The differential tests in
+// internal/core prove the tallies identical; this shows the N^TL frame
+// walk collapsing to bitset work.
+func BenchmarkCountFactorized(b *testing.B) {
+	bench := func(name string, sizes []int) {
+		for _, n := range sizes {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				_, counter, bufs := benchRun(b, name, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, ok, err := counter.CountFactorized(bufs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !ok {
+						b.Fatalf("%s fell back to the odometer", name)
+					}
+					_ = res
+				}
+			})
+		}
+	}
+	bench("sb", []int{2000})
+	bench("podwr001", []int{100, 200, 400})
+}
+
 // BenchmarkConvert measures the Converter itself (test + full outcome
 // space), which the paper amortizes across runs.
 func BenchmarkConvert(b *testing.B) {

@@ -54,6 +54,16 @@ type Counter struct {
 	vals    []int64
 	lo, hi  []int64
 	isExist []bool
+
+	// Factorized-counting state (see factor.go). Plans are immutable
+	// once built and shared across Clones; scratch is per-Counter.
+	fplans      []*outcomePlan
+	fplansOK    bool
+	fplansBuilt bool
+	fscratch    *factorScratch
+
+	// Reusable parallel-count workers (see parallel.go); never cloned.
+	cpool *countPool
 }
 
 // NewCounter builds a counter for the given outcomes of interest.
@@ -82,7 +92,11 @@ func NewTargetCounter(pt *PerpetualTest) (*Counter, error) {
 
 // Clone returns an independent counter over the same outcomes, usable
 // from another goroutine.
-func (c *Counter) Clone() *Counter { return NewCounter(c.pt, c.outcomes) }
+func (c *Counter) Clone() *Counter {
+	cl := NewCounter(c.pt, c.outcomes)
+	cl.fplans, cl.fplansOK, cl.fplansBuilt = c.fplans, c.fplansOK, c.fplansBuilt
+	return cl
+}
 
 // Outcomes returns the outcomes of interest in evaluation order.
 func (c *Counter) Outcomes() []*PerpetualOutcome { return c.outcomes }

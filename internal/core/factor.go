@@ -1,0 +1,746 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/bits"
+)
+
+// This file implements the factorized exhaustive counter: the same exact
+// per-outcome tallies as CountExhaustive's N^TL odometer, computed in
+// near-linear work by exploiting the product structure of perpetual
+// outcomes.
+//
+// A converted outcome is a conjunction of constraints, each coupling at
+// most two frame variables: a clause either mentions a single load
+// thread (an EQZero check, a self-referential rf/fr bound, or an
+// existential store-only thread observed from one load thread only), or
+// it relates exactly two load threads (a cross rf/fr bound, or an
+// existential thread observed from two load threads, whose interval
+// intersection couples them). The satisfying frame set is therefore a
+// "product-form" set: per-thread index bitsets joined by per-pair 0/1
+// matrices. Counting such a set needs no frame walk:
+//
+//   - no pair matrices: the set is a rectangle; the count is the product
+//     of per-thread popcounts (the ISSUE's bitset-rectangle case);
+//   - TL ≤ 3 with pair matrices: one pass over the first thread's
+//     indices, intersecting matrix rows word-wise and popcounting —
+//     O(N²/64) per outer index at worst, against the odometer's N^TL
+//     frame evaluations.
+//
+// First-match-wins multi-outcome semantics are recovered by
+// inclusion–exclusion over the earlier outcomes' product-form sets:
+// counts[i] = Σ_{S ⊆ {0..i-1}} (−1)^|S| · |A_i ∩ ∩_{j∈S} A_j|, where
+// every intersection is again product-form (bitsets AND per thread,
+// matrices AND per pair) and subtrees whose running intersection is
+// empty are pruned — disjoint outcomes, the common case, cost one term.
+//
+// Shapes outside the product form fall back to the odometer: an
+// existential thread observed from three or more load threads (a
+// genuinely ternary clause), cross constraints with TL ≥ 4 (the counting
+// pass is specialized to TL ≤ 3), outcome sets too large for
+// inclusion–exclusion, and pair-matrix footprints past the memory
+// guard. CountExhaustive remains the reference implementation; the
+// differential tests in factor_test.go hold the two bit-for-bit equal.
+
+// maxFactorOutcomes caps the outcome-set size the planner accepts, and
+// maxFactorIETerms bounds the inclusion–exclusion work per outcome at
+// run time: disjoint outcome chains (every full ConvertAllOutcomes set —
+// distinct concrete register assignments) prune to O(k) live terms, but
+// adversarially overlapping sets degrade toward 2^(k-1) terms, so the
+// count aborts to the odometer once the term budget is spent.
+const (
+	maxFactorOutcomes = 256
+	maxFactorIETerms  = 1 << 14
+)
+
+// maxFactorMatrixBytes bounds the total pair-matrix footprint; counts
+// past it fall back to the odometer rather than allocating gigabytes.
+const maxFactorMatrixBytes = 64 << 20
+
+// ----- bitsets and bit matrices -----
+
+type bitset []uint64
+
+func bitsetWords(n int) int { return (n + 63) / 64 }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b bitset) popcount() int64 {
+	var c int64
+	for _, w := range b {
+		c += int64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+func popcountAnd(a, b bitset) int64 {
+	var c int64
+	for i, w := range a {
+		c += int64(bits.OnesCount64(w & b[i]))
+	}
+	return c
+}
+
+func andInto(dst, a, b bitset) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// bitMatrix is an n×n 0/1 matrix over frame-index pairs, row-major with
+// word-aligned rows.
+type bitMatrix struct {
+	n     int
+	words int
+	rows  []uint64
+}
+
+func (m *bitMatrix) row(i int) bitset { return m.rows[i*m.words : (i+1)*m.words] }
+
+// ----- per-outcome factorization plan (independent of N) -----
+
+// pairSlot maps an ordered load-thread position pair to its matrix slot:
+// (0,1)→0, (0,2)→1, (1,2)→2. Valid for TL ≤ 3.
+func pairSlot(p, q int) int {
+	if p == 0 {
+		return q - 1 // (0,1)→0, (0,2)→1
+	}
+	return 2 // (1,2)
+}
+
+// outcomePlan classifies one outcome's constraints by the frame
+// variables they couple. A nil plan means the outcome is not
+// factorizable and the whole counter falls back to the odometer.
+type outcomePlan struct {
+	empty bool // Unsatisfiable: the empty set
+
+	// refPos[ci] is the frame position of constraint ci's ref thread.
+	refPos []int
+	// Constraint indices local to one position (EQZero and self bounds).
+	unaryEQ   [][]int
+	unarySelf [][]int
+	// Existential vars observed from exactly one position / one pair.
+	unaryExist [][]int
+	pairExist  [3][]int
+	// Cross rf/fr constraints per pair slot.
+	pairCross [3][]int
+	// existCons[v] lists the constraint indices targeting exist var v.
+	existCons map[int][]int
+
+	hasPairs bool
+}
+
+// planOutcome builds the factorization plan, or nil when the outcome's
+// clause shape is not thread-separable into unary and pairwise parts.
+func planOutcome(pt *PerpetualTest, po *PerpetualOutcome) *outcomePlan {
+	tl := pt.TL()
+	plan := &outcomePlan{
+		refPos:     make([]int, len(po.Constraints)),
+		unaryEQ:    make([][]int, tl),
+		unarySelf:  make([][]int, tl),
+		unaryExist: make([][]int, tl),
+		existCons:  map[int][]int{},
+	}
+	if po.Unsatisfiable {
+		plan.empty = true
+		return plan
+	}
+	pos := make(map[int]int, tl)
+	for p, t := range pt.LoadThreads {
+		pos[t] = p
+	}
+	isExist := map[int]bool{}
+	for _, v := range po.ExistVars {
+		isExist[v] = true
+	}
+	// existFrom[v] collects the distinct positions observing exist var v.
+	existFrom := map[int][]int{}
+
+	for ci := range po.Constraints {
+		con := &po.Constraints[ci]
+		rp, ok := pos[con.Ref.Thread]
+		if !ok {
+			return nil // load from a non-frame thread: cannot happen, bail safely
+		}
+		plan.refPos[ci] = rp
+		switch {
+		case con.Rel == EQZero:
+			plan.unaryEQ[rp] = append(plan.unaryEQ[rp], ci)
+		case isExist[con.Var]:
+			plan.existCons[con.Var] = append(plan.existCons[con.Var], ci)
+			seen := false
+			for _, p := range existFrom[con.Var] {
+				if p == rp {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				existFrom[con.Var] = append(existFrom[con.Var], rp)
+			}
+		case con.Var == con.Ref.Thread:
+			plan.unarySelf[rp] = append(plan.unarySelf[rp], ci)
+		default:
+			// Cross bound between two load threads.
+			vp, ok := pos[con.Var]
+			if !ok || tl > 3 {
+				return nil
+			}
+			p, q := rp, vp
+			if p > q {
+				p, q = q, p
+			}
+			s := pairSlot(p, q)
+			plan.pairCross[s] = append(plan.pairCross[s], ci)
+			plan.hasPairs = true
+		}
+	}
+
+	for _, v := range po.ExistVars {
+		from := existFrom[v]
+		switch len(from) {
+		case 0:
+			// Exist vars always carry at least one constraint; defensive.
+			return nil
+		case 1:
+			plan.unaryExist[from[0]] = append(plan.unaryExist[from[0]], v)
+		case 2:
+			if tl > 3 {
+				return nil
+			}
+			p, q := from[0], from[1]
+			if p > q {
+				p, q = q, p
+			}
+			s := pairSlot(p, q)
+			plan.pairExist[s] = append(plan.pairExist[s], v)
+			plan.hasPairs = true
+		default:
+			// A genuinely ternary clause: not pairwise-decomposable.
+			return nil
+		}
+	}
+	return plan
+}
+
+// factorPlans builds (and caches) the per-outcome plans. ok is false
+// when any outcome is outside the product form or the outcome set
+// exceeds the inclusion–exclusion caps.
+func (c *Counter) factorPlans() ([]*outcomePlan, bool) {
+	if c.fplansBuilt {
+		return c.fplans, c.fplansOK
+	}
+	c.fplansBuilt = true
+	if len(c.outcomes) > maxFactorOutcomes {
+		c.fplansOK = false
+		return nil, false
+	}
+	plans := make([]*outcomePlan, len(c.outcomes))
+	for i, po := range c.outcomes {
+		p := planOutcome(c.pt, po)
+		if p == nil {
+			c.fplansOK = false
+			return nil, false
+		}
+		plans[i] = p
+	}
+	c.fplans, c.fplansOK = plans, true
+	return plans, true
+}
+
+// ----- per-run structures -----
+
+// prodSet is a product-form frame set: per-position bitsets joined by
+// per-pair bit matrices (nil = unconstrained pair).
+type prodSet struct {
+	empty bool
+	unary []bitset
+	pair  [3]*bitMatrix
+}
+
+// factorScratch holds every reusable buffer of the factorized pass; it
+// lives on the Counter so steady-state counting does not allocate.
+type factorScratch struct {
+	n     int
+	words int
+
+	sets []prodSet // per outcome
+
+	// Interval scratch, reused per outcome: ivLo/ivHi[k][i] is the
+	// allowed target interval the k-th constraint of the current outcome
+	// derives from its ref thread's iteration i.
+	ivLo, ivHi [][]int64
+
+	// DFS intersection stack for inclusion–exclusion, one prodSet per
+	// depth, plus the row scratch of the counting loops.
+	stack  []prodSet
+	c1, c2 bitset
+}
+
+func resizeBitset(b bitset, words int) bitset {
+	if cap(b) < words {
+		return make(bitset, words)
+	}
+	b = b[:words]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+func resizeInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// buildStructures fills the per-outcome prodSets for this run's buffers.
+// ok=false means the pair-matrix footprint tripped the memory guard.
+func (c *Counter) buildStructures(bs *BufSet, plans []*outcomePlan) (*factorScratch, bool) {
+	n := bs.N
+	tl := c.pt.TL()
+	words := bitsetWords(n)
+	if c.fscratch == nil {
+		c.fscratch = &factorScratch{}
+	}
+	sc := c.fscratch
+	sc.n, sc.words = n, words
+
+	// Memory guard on the total matrix footprint.
+	var matBytes int64
+	for _, plan := range plans {
+		if plan.empty {
+			continue
+		}
+		for s := 0; s < 3; s++ {
+			if len(plan.pairCross[s]) > 0 || len(plan.pairExist[s]) > 0 {
+				matBytes += int64(n) * int64(words) * 8
+			}
+		}
+	}
+	if matBytes > maxFactorMatrixBytes {
+		return nil, false
+	}
+
+	if cap(sc.sets) < len(plans) {
+		sets := make([]prodSet, len(plans))
+		copy(sets, sc.sets)
+		sc.sets = sets
+	}
+	sc.sets = sc.sets[:len(plans)]
+
+	for oi, plan := range plans {
+		set := &sc.sets[oi]
+		set.empty = plan.empty
+		if plan.empty {
+			continue
+		}
+		po := c.outcomes[oi]
+
+		// Interval arrays for every rf/fr constraint of this outcome:
+		// the allowed target-iteration interval per ref-thread index.
+		ncons := len(po.Constraints)
+		if cap(sc.ivLo) < ncons {
+			sc.ivLo = make([][]int64, ncons)
+			sc.ivHi = make([][]int64, ncons)
+		}
+		sc.ivLo, sc.ivHi = sc.ivLo[:ncons], sc.ivHi[:ncons]
+		for ci := range po.Constraints {
+			con := &po.Constraints[ci]
+			if con.Rel == EQZero {
+				continue
+			}
+			lo := resizeInt64(sc.ivLo[ci], n)
+			hi := resizeInt64(sc.ivHi[ci], n)
+			rt := con.Ref.Thread
+			stride := c.pt.Reads[rt]
+			buf := bs.Bufs[rt]
+			for i := 0; i < n; i++ {
+				x := buf[stride*i+con.Ref.Slot]
+				switch con.Rel {
+				case RF:
+					if ub, ok := con.rfBound(x); ok {
+						lo[i], hi[i] = 0, ub
+					} else {
+						lo[i], hi[i] = 1, 0 // empty
+					}
+				case FR:
+					if lb, ok := con.frBound(x); ok {
+						lo[i], hi[i] = lb, math.MaxInt64
+					} else {
+						lo[i], hi[i] = 1, 0
+					}
+				}
+			}
+			sc.ivLo[ci], sc.ivHi[ci] = lo, hi
+		}
+
+		// Unary bitsets.
+		if cap(set.unary) < tl {
+			set.unary = make([]bitset, tl)
+		}
+		set.unary = set.unary[:tl]
+		for p := 0; p < tl; p++ {
+			ub := resizeBitset(set.unary[p], words)
+			t := c.pt.LoadThreads[p]
+			stride := c.pt.Reads[t]
+			buf := bs.Bufs[t]
+		unaryLoop:
+			for i := 0; i < n; i++ {
+				for _, ci := range plan.unaryEQ[p] {
+					con := &po.Constraints[ci]
+					if buf[stride*i+con.Ref.Slot] != 0 {
+						continue unaryLoop
+					}
+				}
+				for _, ci := range plan.unarySelf[p] {
+					if int64(i) < sc.ivLo[ci][i] || int64(i) > sc.ivHi[ci][i] {
+						continue unaryLoop
+					}
+				}
+				for _, v := range plan.unaryExist[p] {
+					lo, hi := int64(0), int64(n-1)
+					for _, ci := range plan.existCons[v] {
+						if l := sc.ivLo[ci][i]; l > lo {
+							lo = l
+						}
+						if h := sc.ivHi[ci][i]; h < hi {
+							hi = h
+						}
+					}
+					if lo > hi {
+						continue unaryLoop
+					}
+				}
+				ub.set(i)
+			}
+			set.unary[p] = ub
+		}
+
+		// Pair matrices.
+		for s := 0; s < 3; s++ {
+			cross, exist := plan.pairCross[s], plan.pairExist[s]
+			if len(cross) == 0 && len(exist) == 0 {
+				set.pair[s] = nil
+				continue
+			}
+			m := set.pair[s]
+			if m == nil || cap(m.rows) < n*words {
+				m = &bitMatrix{rows: make([]uint64, n*words)}
+			}
+			m.n, m.words = n, words
+			m.rows = m.rows[:n*words]
+			set.pair[s] = m
+			p, q := pairPositions(s, tl)
+			c.fillPairMatrix(m, sc, plan, oi, p, q, n)
+		}
+	}
+	return sc, true
+}
+
+// pairPositions inverts pairSlot for the test's TL.
+func pairPositions(s, tl int) (p, q int) {
+	if tl == 2 {
+		return 0, 1
+	}
+	switch s {
+	case 0:
+		return 0, 1
+	case 1:
+		return 0, 2
+	default:
+		return 1, 2
+	}
+}
+
+// fillPairMatrix evaluates the pairwise clause of outcome oi for every
+// (i, j) index pair of positions (p, q): cross bounds in either
+// direction plus shared-existential interval intersection.
+func (c *Counter) fillPairMatrix(m *bitMatrix, sc *factorScratch, plan *outcomePlan, oi, p, q, n int) {
+	s := pairSlot(p, q)
+	for i := 0; i < n; i++ {
+		row := m.row(i)
+		for w := range row {
+			row[w] = 0
+		}
+		// Row-constant bounds: cross constraints whose ref is position p
+		// restrict j to an interval for this whole row.
+		jlo, jhi := int64(0), int64(n-1)
+		for _, ci := range plan.pairCross[s] {
+			if plan.refPos[ci] != p {
+				continue
+			}
+			if l := sc.ivLo[ci][i]; l > jlo {
+				jlo = l
+			}
+			if h := sc.ivHi[ci][i]; h < jhi {
+				jhi = h
+			}
+		}
+		if jlo > jhi {
+			continue
+		}
+		for j := int(jlo); j <= int(jhi); j++ {
+			ok := true
+			for _, ci := range plan.pairCross[s] {
+				if plan.refPos[ci] != q {
+					continue
+				}
+				if int64(i) < sc.ivLo[ci][j] || int64(i) > sc.ivHi[ci][j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, v := range plan.pairExist[s] {
+					lo, hi := int64(0), int64(n-1)
+					for _, ci := range plan.existCons[v] {
+						ref := i
+						if plan.refPos[ci] == q {
+							ref = j
+						}
+						if l := sc.ivLo[ci][ref]; l > lo {
+							lo = l
+						}
+						if h := sc.ivHi[ci][ref]; h < hi {
+							hi = h
+						}
+					}
+					if lo > hi {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				row.set(j)
+			}
+		}
+	}
+}
+
+// ----- counting product-form sets -----
+
+// countProdSet counts the frames in a product-form set exactly.
+func (sc *factorScratch) countProdSet(s *prodSet) int64 {
+	if s.empty {
+		return 0
+	}
+	tl := len(s.unary)
+	hasPair := s.pair[0] != nil || s.pair[1] != nil || s.pair[2] != nil
+	if !hasPair {
+		total := int64(1)
+		for _, ub := range s.unary {
+			total = mulSat(total, ub.popcount())
+			if total == 0 {
+				return 0
+			}
+		}
+		return total
+	}
+	switch tl {
+	case 2:
+		m := s.pair[0]
+		var total int64
+		u0, u1 := s.unary[0], s.unary[1]
+		for i := 0; i < sc.n; i++ {
+			if !u0.has(i) {
+				continue
+			}
+			total += popcountAnd(m.row(i), u1)
+		}
+		return total
+	case 3:
+		m01, m02, m12 := s.pair[0], s.pair[1], s.pair[2]
+		u0, u1, u2 := s.unary[0], s.unary[1], s.unary[2]
+		sc.c1 = resizeBitset(sc.c1, sc.words)
+		sc.c2 = resizeBitset(sc.c2, sc.words)
+		var total int64
+		for i0 := 0; i0 < sc.n; i0++ {
+			if !u0.has(i0) {
+				continue
+			}
+			c1 := u1
+			if m01 != nil {
+				andInto(sc.c1, m01.row(i0), u1)
+				c1 = sc.c1
+			}
+			c2 := u2
+			if m02 != nil {
+				andInto(sc.c2, m02.row(i0), u2)
+				c2 = sc.c2
+			}
+			if m12 == nil {
+				total += mulSat(c1.popcount(), c2.popcount())
+				continue
+			}
+			for w, word := range c1 {
+				for word != 0 {
+					i1 := w<<6 + bits.TrailingZeros64(word)
+					word &= word - 1
+					total += popcountAnd(m12.row(i1), c2)
+				}
+			}
+		}
+		return total
+	default:
+		// Unreachable: pairs imply TL ≤ 3 (enforced by planOutcome).
+		return 0
+	}
+}
+
+// intersectInto writes a ∩ b into dst, reusing dst's backing arrays.
+func (sc *factorScratch) intersectInto(dst, a, b *prodSet) {
+	dst.empty = a.empty || b.empty
+	if dst.empty {
+		return
+	}
+	tl := len(a.unary)
+	if cap(dst.unary) < tl {
+		dst.unary = make([]bitset, tl)
+	}
+	dst.unary = dst.unary[:tl]
+	for p := 0; p < tl; p++ {
+		dst.unary[p] = resizeBitset(dst.unary[p], sc.words)
+		andInto(dst.unary[p], a.unary[p], b.unary[p])
+	}
+	for s := 0; s < 3; s++ {
+		am, bm := a.pair[s], b.pair[s]
+		switch {
+		case am == nil && bm == nil:
+			dst.pair[s] = nil
+		default:
+			m := dst.pair[s]
+			if m == nil || cap(m.rows) < sc.n*sc.words {
+				m = &bitMatrix{rows: make([]uint64, sc.n*sc.words)}
+			}
+			m.n, m.words = sc.n, sc.words
+			m.rows = m.rows[:sc.n*sc.words]
+			dst.pair[s] = m
+			switch {
+			case am == nil:
+				copy(m.rows, bm.rows)
+			case bm == nil:
+				copy(m.rows, am.rows)
+			default:
+				for w := range m.rows {
+					m.rows[w] = am.rows[w] & bm.rows[w]
+				}
+			}
+		}
+	}
+}
+
+// firstMatchCount computes the number of frames whose FIRST matching
+// outcome is oi, by inclusion–exclusion over the earlier outcomes'
+// sets. Zero-count subtrees are pruned (valid: intersections only
+// shrink), so disjoint outcome chains cost O(oi) terms. ok=false means
+// the overlap structure blew the term budget and the caller must fall
+// back to the odometer.
+func (sc *factorScratch) firstMatchCount(oi int) (int64, bool) {
+	if cap(sc.stack) < oi+1 {
+		st := make([]prodSet, oi+1)
+		copy(st, sc.stack)
+		sc.stack = st
+	}
+	sc.stack = sc.stack[:max(len(sc.stack), oi+1)]
+	var total int64
+	terms := 0
+	var rec func(depth, nextJ int, cur *prodSet, sign int64) bool
+	rec = func(depth, nextJ int, cur *prodSet, sign int64) bool {
+		terms++
+		if terms > maxFactorIETerms {
+			return false
+		}
+		cnt := sc.countProdSet(cur)
+		if cnt == 0 {
+			return true
+		}
+		total += sign * cnt
+		for j := nextJ; j < oi; j++ {
+			child := &sc.stack[depth]
+			sc.intersectInto(child, cur, &sc.sets[j])
+			if !rec(depth+1, j+1, child, -sign) {
+				return false
+			}
+		}
+		return true
+	}
+	if !rec(0, 0, &sc.sets[oi], 1) {
+		return 0, false
+	}
+	return total, true
+}
+
+// mulSat multiplies non-negative counts, saturating at MaxInt64 (only
+// reachable in regimes the odometer could never walk).
+func mulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// powSat computes n^tl with saturation, the logical frame count.
+func powSat(n int64, tl int) int64 {
+	total := int64(1)
+	for i := 0; i < tl; i++ {
+		total = mulSat(total, n)
+	}
+	return total
+}
+
+// ----- entry points -----
+
+// CountFactorized computes exactly CountExhaustive's result via the
+// factorized pass. ok=false reports a clause shape, outcome-set size or
+// matrix footprint outside the factorizable fragment — the caller must
+// fall back to the odometer. Frames reports the logical N^TL frame
+// count the odometer would have walked.
+func (c *Counter) CountFactorized(bs *BufSet) (res *CountResult, ok bool, err error) {
+	if err := bs.Validate(c.pt); err != nil {
+		return nil, false, err
+	}
+	plans, ok := c.factorPlans()
+	if !ok {
+		return nil, false, nil
+	}
+	res = &CountResult{Counts: make([]int64, len(c.outcomes))}
+	n := bs.N
+	tl := c.pt.TL()
+	if n == 0 || tl == 0 {
+		return res, true, nil
+	}
+	sc, ok := c.buildStructures(bs, plans)
+	if !ok {
+		return nil, false, nil
+	}
+	for oi := range c.outcomes {
+		cnt, ok := sc.firstMatchCount(oi)
+		if !ok {
+			return nil, false, nil
+		}
+		res.Counts[oi] = cnt
+	}
+	res.Frames = powSat(int64(n), tl)
+	return res, true, nil
+}
+
+// CountExhaustiveAuto selects the fastest exact exhaustive counter: the
+// factorized pass when the outcome set is product-form, otherwise the
+// parallel odometer fan-out. The tallies are identical either way (the
+// differential tests prove it); only the work to produce them differs.
+func (c *Counter) CountExhaustiveAuto(ctx context.Context, bs *BufSet, workers int) (*CountResult, error) {
+	if res, ok, err := c.CountFactorized(bs); err != nil {
+		return nil, err
+	} else if ok {
+		return res, nil
+	}
+	return c.CountExhaustiveParallel(ctx, bs, workers)
+}

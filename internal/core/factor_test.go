@@ -1,0 +1,302 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"perple/internal/litmus"
+)
+
+// requireSameCounts holds a factorized result to the odometer's,
+// bit-for-bit: every per-outcome tally and the logical frame count.
+func requireSameCounts(t *testing.T, name string, fac, odo *CountResult) {
+	t.Helper()
+	if fac.Frames != odo.Frames {
+		t.Fatalf("%s: factorized frames = %d, odometer = %d", name, fac.Frames, odo.Frames)
+	}
+	if len(fac.Counts) != len(odo.Counts) {
+		t.Fatalf("%s: count lengths differ: %d vs %d", name, len(fac.Counts), len(odo.Counts))
+	}
+	for i := range fac.Counts {
+		if fac.Counts[i] != odo.Counts[i] {
+			t.Fatalf("%s: outcome %d: factorized = %d, odometer = %d (all: fac=%v odo=%v)",
+				name, i, fac.Counts[i], odo.Counts[i], fac.Counts, odo.Counts)
+		}
+	}
+}
+
+// TestFactorizedCoversSuite asserts the factorized path actually engages
+// (no silent odometer fallback) for every convertible suite test with
+// its full outcome set — the speedup claim is void if the planner bails.
+func TestFactorizedCoversSuite(t *testing.T) {
+	for _, e := range litmus.Suite() {
+		pt, err := Convert(e.Test)
+		if err != nil {
+			continue
+		}
+		pos, err := ConvertAllOutcomes(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewCounter(pt, pos)
+		bs := NewBufSet(pt, 4)
+		if _, ok, err := c.CountFactorized(bs); err != nil {
+			t.Fatalf("%s: %v", e.Test.Name, err)
+		} else if !ok {
+			t.Errorf("%s: full outcome set fell back to the odometer", e.Test.Name)
+		}
+	}
+}
+
+// TestFactorizedMatchesOdometerSuite is the headline differential: for
+// every convertible suite test (TL spans 1..3: mp, sb/iriw, podwr001)
+// and its full first-match outcome chain, the factorized counter must
+// reproduce the odometer's tallies exactly over random buffers.
+func TestFactorizedMatchesOdometerSuite(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rounds := 12
+	if testing.Short() {
+		rounds = 3
+	}
+	for _, e := range litmus.Suite() {
+		pt, err := Convert(e.Test)
+		if err != nil {
+			continue
+		}
+		pos, err := ConvertAllOutcomes(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewCounter(pt, pos)
+		for round := 0; round < rounds; round++ {
+			n := 1 + rng.Intn(14)
+			bs := randomBufs(rng, pt, n)
+			odo, err := c.CountExhaustive(bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fac, ok, err := c.CountFactorized(bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("%s: unexpected fallback", e.Test.Name)
+			}
+			requireSameCounts(t, e.Test.Name, fac, odo)
+		}
+	}
+}
+
+// TestFactorizedMatchesOdometerLockstep pins the differential to the
+// analytically known lockstep sb partition (diagonal + two triangles).
+func TestFactorizedMatchesOdometerLockstep(t *testing.T) {
+	pt := mustConvert(t, "sb")
+	pos, err := ConvertAllOutcomes(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter(pt, pos)
+	const n = 20
+	bs := lockstepBufs(pt, n)
+	fac, ok, err := c.CountFactorized(bs)
+	if err != nil || !ok {
+		t.Fatalf("factorized: ok=%v err=%v", ok, err)
+	}
+	want := []int64{n, n * (n - 1) / 2, n * (n - 1) / 2, 0}
+	for i, w := range want {
+		if fac.Counts[i] != w {
+			t.Errorf("outcome %d count = %d, want %d", i, fac.Counts[i], w)
+		}
+	}
+	if fac.Frames != n*n {
+		t.Errorf("frames = %d, want %d", fac.Frames, n*n)
+	}
+}
+
+// TestFactorizedFuzzOutcomeSets is the satellite fuzz: random outcome
+// subsets of size 1–4 — with replacement, so duplicated outcomes force
+// fully overlapping sets through the inclusion–exclusion chain (a
+// duplicate's first-match count must be exactly 0) — over random
+// BufSets and varying N, for tests spanning TL ∈ {1, 2, 3}.
+func TestFactorizedFuzzOutcomeSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rounds := 40
+	if testing.Short() {
+		rounds = 8
+	}
+	for _, name := range []string{"mp", "sb", "amd3", "iriw", "podwr001"} {
+		pt := mustConvert(t, name)
+		pos, err := ConvertAllOutcomes(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < rounds; round++ {
+			k := 1 + rng.Intn(4)
+			sel := make([]*PerpetualOutcome, k)
+			for i := range sel {
+				sel[i] = pos[rng.Intn(len(pos))]
+			}
+			c := NewCounter(pt, sel)
+			n := 1 + rng.Intn(12)
+			bs := randomBufs(rng, pt, n)
+			odo, err := c.CountExhaustive(bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fac, ok, err := c.CountFactorized(bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("%s round %d: unexpected fallback", name, round)
+			}
+			requireSameCounts(t, name, fac, odo)
+			for i := range sel {
+				for j := 0; j < i; j++ {
+					if sel[j] == sel[i] && fac.Counts[i] != 0 {
+						t.Fatalf("%s: duplicated outcome %d counted %d frames, want 0",
+							name, i, fac.Counts[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFactorizedEmptyAndZero covers the degenerate shapes the odometer
+// special-cases: N=0 and an unsatisfiable outcome in the chain.
+func TestFactorizedEmptyAndZero(t *testing.T) {
+	pt := mustConvert(t, "sb")
+	pos, err := ConvertAllOutcomes(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter(pt, pos)
+	fac, ok, err := c.CountFactorized(NewBufSet(pt, 0))
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if fac.Frames != 0 || fac.Total() != 0 {
+		t.Errorf("N=0 produced frames=%d total=%d", fac.Frames, fac.Total())
+	}
+
+	unsat := &PerpetualOutcome{Unsatisfiable: true}
+	cu := NewCounter(pt, []*PerpetualOutcome{unsat, pos[0]})
+	rng := rand.New(rand.NewSource(3))
+	bs := randomBufs(rng, pt, 9)
+	odo, err := cu.CountExhaustive(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac2, ok, err := cu.CountFactorized(bs)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	requireSameCounts(t, "sb+unsat", fac2, odo)
+	if fac2.Counts[0] != 0 {
+		t.Errorf("unsatisfiable outcome counted %d frames", fac2.Counts[0])
+	}
+}
+
+// TestFactorizedFallbackCaps covers both fallback guards: an outcome
+// set past the planner cap declines up front, and an adversarially
+// overlapping chain (the same nonempty outcome duplicated 20 times, so
+// no inclusion–exclusion subtree ever prunes) trips the term budget at
+// run time. CountExhaustiveAuto must return odometer-identical tallies
+// through either fallback.
+func TestFactorizedFallbackCaps(t *testing.T) {
+	pt := mustConvert(t, "sb")
+	pos, err := ConvertAllOutcomes(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	huge := make([]*PerpetualOutcome, maxFactorOutcomes+1)
+	for i := range huge {
+		huge[i] = pos[i%len(pos)]
+	}
+	if _, ok, err := NewCounter(pt, huge).CountFactorized(NewBufSet(pt, 4)); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatalf("%d outcomes accepted past planner cap %d", len(huge), maxFactorOutcomes)
+	}
+
+	const n = 20
+	dup := make([]*PerpetualOutcome, n)
+	for i := range dup {
+		dup[i] = pos[0] // target holds on the lockstep diagonal: nonempty
+	}
+	c := NewCounter(pt, dup)
+	bs := lockstepBufs(pt, n)
+	if _, ok, err := c.CountFactorized(bs); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("fully overlapping outcome chain did not trip the term budget")
+	}
+	auto, err := c.CountExhaustiveAuto(context.Background(), bs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odo, err := c.CountExhaustive(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameCounts(t, "sb-dup", auto, odo)
+}
+
+// TestCountExhaustiveAutoMatches: the auto selector must be
+// tally-identical to the odometer whichever path it takes.
+func TestCountExhaustiveAutoMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, name := range []string{"sb", "mp", "iriw", "podwr001"} {
+		pt := mustConvert(t, name)
+		pos, err := ConvertAllOutcomes(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewCounter(pt, pos)
+		bs := randomBufs(rng, pt, 10)
+		auto, err := c.CountExhaustiveAuto(context.Background(), bs, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		odo, err := c.CountExhaustive(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameCounts(t, name, auto, odo)
+	}
+}
+
+// TestFactorizedCloneSharesPlans: Clones reuse the immutable plans but
+// never the mutable scratch, so cloned counters stay independent.
+func TestFactorizedCloneSharesPlans(t *testing.T) {
+	pt := mustConvert(t, "podwr001")
+	pos, err := ConvertAllOutcomes(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter(pt, pos)
+	rng := rand.New(rand.NewSource(2))
+	bs := randomBufs(rng, pt, 6)
+	if _, ok, err := c.CountFactorized(bs); err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	cl := c.Clone()
+	if cl.fscratch != nil {
+		t.Fatal("clone shares factor scratch with parent")
+	}
+	if !cl.fplansBuilt || len(cl.fplans) != len(c.fplans) {
+		t.Fatal("clone did not inherit factor plans")
+	}
+	odo, err := cl.CountExhaustive(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac, ok, err := cl.CountFactorized(bs)
+	if err != nil || !ok {
+		t.Fatalf("clone: ok=%v err=%v", ok, err)
+	}
+	requireSameCounts(t, "podwr001-clone", fac, odo)
+}

@@ -7,6 +7,103 @@ import (
 	"sync"
 )
 
+// countWorker is one reusable parallel-count worker: a pre-cloned
+// Counter, its odometer scratch and its output slot. Workers are
+// individually heap-allocated and tail-padded so one worker's hot
+// frames/counts writes never share a cache line with a neighbor's.
+type countWorker struct {
+	c   *Counter
+	idx []int64
+
+	// Per-call inputs, set by the dispatching goroutine before spawn.
+	ctx        context.Context
+	bs         *BufSet
+	lo, hi     int
+	exhaustive bool
+
+	// Outputs.
+	frames int64
+	counts []int64
+	err    error
+
+	wg *sync.WaitGroup
+	// run is the prebound method value spawned by `go wk.run()`; binding
+	// it once at pool build keeps the spawn itself allocation-free.
+	run func()
+
+	_ [64]byte // padding against false sharing
+}
+
+func (wk *countWorker) doRun() {
+	defer wk.wg.Done()
+	wk.frames = 0
+	clear(wk.counts)
+	if wk.exhaustive {
+		wk.err = wk.c.exhSlabInto(wk.ctx, wk.bs, wk.lo, wk.hi, wk.idx, &wk.frames, wk.counts)
+	} else {
+		wk.err = wk.c.heurSlabInto(wk.ctx, wk.bs, wk.lo, wk.hi, &wk.frames, wk.counts)
+	}
+}
+
+// countPool is the Counter's lazily grown set of reusable workers.
+type countPool struct {
+	wg      sync.WaitGroup
+	workers []*countWorker
+}
+
+// pool returns a pool with at least `workers` ready workers. All
+// per-worker state (clone, scratch, padded output slots) is allocated
+// here, outside the parallel region, so steady-state parallel counts
+// allocate nothing per worker.
+func (c *Counter) pool(workers int) *countPool {
+	if c.cpool == nil {
+		c.cpool = &countPool{}
+	}
+	p := c.cpool
+	for len(p.workers) < workers {
+		wk := &countWorker{
+			c: c.Clone(),
+			// Round the counts capacity up to a full cache line so two
+			// workers' short count arrays never split one.
+			counts: make([]int64, len(c.outcomes), max(len(c.outcomes), 8)),
+			idx:    make([]int64, c.pt.TL()),
+			wg:     &p.wg,
+		}
+		wk.run = wk.doRun
+		p.workers = append(p.workers, wk)
+	}
+	return p
+}
+
+// runParallel dispatches [0, n) across the pool and merges the padded
+// per-worker slots into one result.
+func (c *Counter) runParallel(ctx context.Context, bs *BufSet, workers, n int, exhaustive bool) (*CountResult, error) {
+	p := c.pool(workers)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		wk := p.workers[w]
+		wk.ctx, wk.bs = ctx, bs
+		wk.lo, wk.hi = n*w/workers, n*(w+1)/workers
+		wk.exhaustive = exhaustive
+		go wk.run()
+	}
+	p.wg.Wait()
+
+	total := &CountResult{Counts: make([]int64, len(c.outcomes))}
+	for w := 0; w < workers; w++ {
+		wk := p.workers[w]
+		wk.ctx, wk.bs = nil, nil // don't retain caller state between calls
+		if wk.err != nil {
+			return nil, fmt.Errorf("core: parallel count worker %d: %w", w, wk.err)
+		}
+		total.Frames += wk.frames
+		for i, v := range wk.counts {
+			total.Counts[i] += v
+		}
+	}
+	return total, nil
+}
+
 // CountExhaustiveParallel is Algorithm 1 fanned out over worker
 // goroutines: the outermost frame index is partitioned, each worker walks
 // its slab with an independent Counter clone, and the per-outcome counts
@@ -32,32 +129,7 @@ func (c *Counter) CountExhaustiveParallel(ctx context.Context, bs *BufSet, worke
 	if workers <= 1 || c.pt.TL() == 0 || n == 0 {
 		return c.countExhaustiveSlab(ctx, bs, 0, n)
 	}
-
-	results := make([]*CountResult, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := n * w / workers
-		hi := n * (w + 1) / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			results[w], errs[w] = c.Clone().countExhaustiveSlab(ctx, bs, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	total := &CountResult{Counts: make([]int64, len(c.outcomes))}
-	for w := 0; w < workers; w++ {
-		if errs[w] != nil {
-			return nil, fmt.Errorf("core: parallel count worker %d: %w", w, errs[w])
-		}
-		total.Frames += results[w].Frames
-		for i, v := range results[w].Counts {
-			total.Counts[i] += v
-		}
-	}
-	return total, nil
+	return c.runParallel(ctx, bs, workers, n, true)
 }
 
 // CountHeuristicParallel is Algorithm 2 fanned out over worker
@@ -84,61 +156,47 @@ func (c *Counter) CountHeuristicParallel(ctx context.Context, bs *BufSet, worker
 	if workers <= 1 || c.pt.TL() == 0 || n == 0 {
 		return c.countHeuristicSlab(ctx, bs, 0, n)
 	}
-
-	results := make([]*CountResult, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := n * w / workers
-		hi := n * (w + 1) / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			results[w], errs[w] = c.Clone().countHeuristicSlab(ctx, bs, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	total := &CountResult{Counts: make([]int64, len(c.outcomes))}
-	for w := 0; w < workers; w++ {
-		if errs[w] != nil {
-			return nil, fmt.Errorf("core: parallel count worker %d: %w", w, errs[w])
-		}
-		total.Frames += results[w].Frames
-		for i, v := range results[w].Counts {
-			total.Counts[i] += v
-		}
-	}
-	return total, nil
+	return c.runParallel(ctx, bs, workers, n, false)
 }
 
 // countHeuristicSlab walks the anchor iterations in [lo, hi).
 func (c *Counter) countHeuristicSlab(ctx context.Context, bs *BufSet, lo, hi int) (*CountResult, error) {
 	res := &CountResult{Counts: make([]int64, len(c.outcomes))}
+	if err := c.heurSlabInto(ctx, bs, lo, hi, &res.Frames, res.Counts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// heurSlabInto is countHeuristicSlab's loop over caller-owned output
+// slots, the allocation-free core shared with the worker pool.
+func (c *Counter) heurSlabInto(ctx context.Context, bs *BufSet, lo, hi int, framesOut *int64, counts []int64) error {
 	if lo >= hi || c.pt.TL() == 0 || bs.N == 0 {
-		return res, nil
+		return nil
 	}
 	done := ctx.Done()
 	anchor := c.pt.LoadThreads[0]
 	n := int64(bs.N)
+	var frames int64
 	for i := int64(lo); i < int64(hi); i++ {
-		if done != nil && res.Frames&slabCheckMask == 0 {
+		if done != nil && frames&slabCheckMask == 0 {
 			select {
 			case <-done:
-				return nil, fmt.Errorf("core: heuristic count aborted: %w", ctx.Err())
+				return fmt.Errorf("core: heuristic count aborted: %w", ctx.Err())
 			default:
 			}
 		}
-		res.Frames++
+		frames++
 		for oi, po := range c.outcomes {
 			c.vals[anchor] = i
 			if c.evalPinned(po, bs, n, i) {
-				res.Counts[oi]++
+				counts[oi]++
 				break
 			}
 		}
 	}
-	return res, nil
+	*framesOut += frames
+	return nil
 }
 
 // slabCheckMask rate-limits the slab walk's cancellation poll to every
@@ -153,26 +211,41 @@ func (c *Counter) countExhaustiveSlab(ctx context.Context, bs *BufSet, lo, hi in
 	if lo >= hi || c.pt.TL() == 0 || bs.N == 0 {
 		return res, nil
 	}
+	idx := make([]int64, c.pt.TL())
+	if err := c.exhSlabInto(ctx, bs, lo, hi, idx, &res.Frames, res.Counts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// exhSlabInto is countExhaustiveSlab's odometer loop over caller-owned
+// scratch and output slots, the allocation-free core shared with the
+// worker pool.
+func (c *Counter) exhSlabInto(ctx context.Context, bs *BufSet, lo, hi int, idx []int64, framesOut *int64, counts []int64) error {
+	if lo >= hi || c.pt.TL() == 0 || bs.N == 0 {
+		return nil
+	}
 	done := ctx.Done()
 	n := int64(bs.N)
 	tl := c.pt.TL()
-	idx := make([]int64, tl)
+	clear(idx)
 	idx[0] = int64(lo)
+	var frames int64
 	for {
-		if done != nil && res.Frames&slabCheckMask == 0 {
+		if done != nil && frames&slabCheckMask == 0 {
 			select {
 			case <-done:
-				return nil, fmt.Errorf("core: exhaustive count aborted: %w", ctx.Err())
+				return fmt.Errorf("core: exhaustive count aborted: %w", ctx.Err())
 			default:
 			}
 		}
 		for i, t := range c.pt.LoadThreads {
 			c.vals[t] = idx[i]
 		}
-		res.Frames++
+		frames++
 		for oi, po := range c.outcomes {
 			if c.eval(po, bs, n) {
-				res.Counts[oi]++
+				counts[oi]++
 				break
 			}
 		}
@@ -187,13 +260,15 @@ func (c *Counter) countExhaustiveSlab(ctx context.Context, bs *BufSet, lo, hi in
 				break
 			}
 			if i == 0 {
-				return res, nil
+				*framesOut += frames
+				return nil
 			}
 			idx[i] = 0
 			i--
 		}
 		if i < 0 {
-			return res, nil
+			*framesOut += frames
+			return nil
 		}
 	}
 }

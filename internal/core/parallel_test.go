@@ -55,6 +55,41 @@ func TestCountHeuristicParallelEmptyAndErrors(t *testing.T) {
 	}
 }
 
+// TestCountExhaustiveParallelAllocsFlat pins the parallel fan-out's
+// steady-state allocation behavior: after the worker pool is warm,
+// allocs/op must not grow with the worker count (the pre-pool
+// implementation leaked ~19 allocs per additional worker — clone,
+// result, scratch and closure per call).
+func TestCountExhaustiveParallelAllocsFlat(t *testing.T) {
+	pt := mustConvert(t, "sb")
+	pos, err := ConvertAllOutcomes(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter(pt, pos)
+	bs := lockstepBufs(pt, 64)
+	ctx := context.Background()
+	measure := func(workers int) float64 {
+		t.Helper()
+		if _, err := c.CountExhaustiveParallel(ctx, bs, workers); err != nil {
+			t.Fatal(err) // warm the pool outside the measured region
+		}
+		return testing.AllocsPerRun(30, func() {
+			if _, err := c.CountExhaustiveParallel(ctx, bs, workers); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := measure(1)
+	for _, workers := range []int{2, 4, 8} {
+		// Tolerance of +2 absorbs occasional goroutine-descriptor
+		// allocation when the runtime's free list is momentarily empty.
+		if got := measure(workers); got > base+2 {
+			t.Errorf("workers=%d: %.1f allocs/op, want flat at ~%.1f (workers=1)", workers, got, base)
+		}
+	}
+}
+
 func TestCountHeuristicParallelCancellation(t *testing.T) {
 	pt := mustConvert(t, "sb")
 	c, err := NewTargetCounter(pt)

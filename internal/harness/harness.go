@@ -126,6 +126,28 @@ func compileOutcome(t *litmus.Test, o litmus.Outcome, regCounts []int, locIdx ma
 	return co, nil
 }
 
+// regOnly reports whether every condition reads a register, making the
+// outcome decidable from an interned histogram row alone.
+func (co compiledOutcome) regOnly() bool {
+	for _, c := range co.conds {
+		if c.mem {
+			return false
+		}
+	}
+	return true
+}
+
+// matchWords evaluates a register-only outcome against one interned
+// histogram row; wordOff[t] is thread t's word offset within the row.
+func (co compiledOutcome) matchWords(w []int64, wordOff []int) bool {
+	for _, c := range co.conds {
+		if w[wordOff[c.t]+c.off] != c.v {
+			return false
+		}
+	}
+	return true
+}
+
 func (co compiledOutcome) match(res *sim.SyncedResult, iter int) bool {
 	for _, c := range co.conds {
 		if c.mem {

@@ -42,8 +42,72 @@ func (h *outcomeHist) resetCounts() {
 	clear(h.counts)
 }
 
-// observe tallies iteration iter of a synced run result.
-func (h *outcomeHist) observe(res *sim.SyncedResult, iter int) {
+// observeBlock tallies iterations [lo, hi) of a synced run result. Rows
+// are hashed and compared in place — the scratch gather is paid only on
+// the first sighting of an outcome (internRegs) — and because litmus
+// histograms are heavily skewed toward a few outcomes, each iteration
+// is first compared against the previous iteration's outcome, skipping
+// the hash walk and table probe entirely when it repeats.
+func (h *outcomeHist) observeBlock(res *sim.SyncedResult, lo, hi int) {
+	last := -1
+	for iter := lo; iter < hi; iter++ {
+		if last >= 0 && h.regsEqual(last, res, iter) {
+			h.counts[last]++
+			continue
+		}
+		last = h.observe(res, iter)
+	}
+}
+
+// observe tallies iteration iter and returns its outcome id (for a
+// fresh outcome, the id internRegs just assigned).
+func (h *outcomeHist) observe(res *sim.SyncedResult, iter int) int {
+	hsh := uint64(0x9E3779B97F4A7C15)
+	for t, rc := range h.regCounts {
+		row := res.Regs[t][iter*rc : iter*rc+rc]
+		for _, v := range row {
+			hsh ^= uint64(v)
+			hsh *= 0xFF51AFD7ED558CCD
+			hsh ^= hsh >> 33
+		}
+	}
+	mask := len(h.table) - 1
+	i := int(hsh) & mask
+	for {
+		slot := h.table[i]
+		if slot == 0 {
+			h.internRegs(res, iter)
+			return len(h.counts) - 1
+		}
+		if id := int(slot - 1); h.regsEqual(id, res, iter) {
+			h.counts[id]++
+			return id
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// regsEqual compares interned outcome id against iteration iter's
+// register rows without gathering them.
+func (h *outcomeHist) regsEqual(id int, res *sim.SyncedResult, iter int) bool {
+	iw := h.words[id*h.stride : (id+1)*h.stride]
+	k := 0
+	for t, rc := range h.regCounts {
+		row := res.Regs[t][iter*rc : iter*rc+rc]
+		for _, v := range row {
+			if iw[k] != v {
+				return false
+			}
+			k++
+		}
+	}
+	return true
+}
+
+// internRegs registers a first-seen outcome: gather the rows and take
+// the interning slow path (which re-probes; the extra probe is paid
+// once per distinct outcome, not per iteration).
+func (h *outcomeHist) internRegs(res *sim.SyncedResult, iter int) {
 	w := h.scratch[:0]
 	for t, rc := range h.regCounts {
 		w = append(w, res.Regs[t][iter*rc:(iter+1)*rc]...)
@@ -98,6 +162,11 @@ func (h *outcomeHist) rehash() {
 		}
 		h.table[i] = int32(id + 1)
 	}
+}
+
+// row returns interned outcome id's words.
+func (h *outcomeHist) row(id int) []int64 {
+	return h.words[id*h.stride : (id+1)*h.stride]
 }
 
 // merge folds another interner's counts into h. Both must have been

@@ -31,6 +31,13 @@ type Litmus7Runner struct {
 	hist     *outcomeHist
 	res      Litmus7Result
 
+	// regOnly is set when the target and every extra outcome read only
+	// registers; wordOff[t] is thread t's offset into an interned
+	// histogram row. Together they let RunCtx tally conditions once per
+	// distinct outcome instead of once per iteration.
+	regOnly bool
+	wordOff []int
+
 	// tv/checker drive optional witness-trace verification; see
 	// SetTraceVerify. checker is nil when verification is off.
 	tv      TraceVerify
@@ -57,10 +64,18 @@ func NewLitmus7Runner(ct *sim.CompiledTest, outcomes []litmus.Outcome) (*Litmus7
 		outcomes: make([]compiledOutcome, len(outcomes)),
 		hist:     newOutcomeHist(ct.RegCounts()),
 	}
+	lr.regOnly = target.regOnly()
 	for i, o := range outcomes {
 		if lr.outcomes[i], err = compileOutcome(t, o, ct.RegCounts(), locIdx); err != nil {
 			return nil, err
 		}
+		lr.regOnly = lr.regOnly && lr.outcomes[i].regOnly()
+	}
+	lr.wordOff = make([]int, len(ct.RegCounts()))
+	off := 0
+	for ti, rc := range ct.RegCounts() {
+		lr.wordOff[ti] = off
+		off += rc
 	}
 	lr.res = Litmus7Result{
 		Test:          t,
@@ -107,23 +122,51 @@ func (lr *Litmus7Runner) RunCtx(ctx context.Context, n int, mode sim.Mode, cfg s
 	}
 	lr.hist.resetCounts()
 	done := ctx.Done()
-	for iter := 0; iter < n; iter++ {
-		if done != nil && iter&4095 == 0 {
+	for lo := 0; lo < n; lo += 4096 {
+		if done != nil {
 			select {
 			case <-done:
 				return nil, fmt.Errorf("harness: litmus7 tally aborted: %w", ctx.Err())
 			default:
 			}
 		}
-		if lr.target.match(simRes, iter) {
-			res.TargetCount++
+		hi := lo + 4096
+		if hi > n {
+			hi = n
 		}
-		for i := range lr.outcomes {
-			if lr.outcomes[i].match(simRes, iter) {
-				res.OutcomeCounts[i]++
+		if !lr.regOnly {
+			// A memory condition depends on the iteration's memory cell,
+			// which the histogram does not intern: match per iteration.
+			for iter := lo; iter < hi; iter++ {
+				if lr.target.match(simRes, iter) {
+					res.TargetCount++
+				}
+				for i := range lr.outcomes {
+					if lr.outcomes[i].match(simRes, iter) {
+						res.OutcomeCounts[i]++
+					}
+				}
 			}
 		}
-		lr.hist.observe(simRes, iter)
+		lr.hist.observeBlock(simRes, lo, hi)
+	}
+	if lr.regOnly {
+		// Register-only conditions are a function of the interned row, so
+		// tally per distinct outcome instead of per iteration.
+		for id, c := range lr.hist.counts {
+			if c == 0 {
+				continue
+			}
+			w := lr.hist.row(id)
+			if lr.target.matchWords(w, lr.wordOff) {
+				res.TargetCount += c
+			}
+			for i := range lr.outcomes {
+				if lr.outcomes[i].matchWords(w, lr.wordOff) {
+					res.OutcomeCounts[i] += c
+				}
+			}
+		}
 	}
 	lr.hist.materializeInto(res.Histogram)
 	res.Wall = time.Since(start) //nodeterminism:allow wall-clock telemetry; never feeds results

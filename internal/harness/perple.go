@@ -142,9 +142,10 @@ func RunPerpLECtx(ctx context.Context, pt *core.PerpetualTest, counter *core.Cou
 			bs = truncateBufs(pt, simRes.Bufs, opts.ExhaustiveCap)
 		}
 		t0 := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
-		// Even with one worker the parallel count is used: identical
-		// tallies to CountExhaustive, but the slab walk polls ctx.
-		cr, err := counter.CountExhaustiveParallel(ctx, bs, max(1, opts.CountWorkers))
+		// Auto-select the factorized counter when the outcome set is
+		// product-form, else the parallel odometer (whose slab walk polls
+		// ctx). Tallies are identical either way.
+		cr, err := counter.CountExhaustiveAuto(ctx, bs, max(1, opts.CountWorkers))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+
+	"perple/internal/litmus"
+)
+
+// The machine executes flat bytecode rather than walking []simInstr
+// structs: each instruction is one packed uint64 word read from a
+// contiguous code slice, with wide operands (store constants, perpetual
+// sequence coefficients) in parallel int64 slices indexed by pc. The
+// event loops' per-step work drops from copying a multi-word struct to
+// one word load plus shift/mask decodes, and dispatch is a dense
+// three-way switch on the low bits.
+//
+// Word layout (low to high):
+//
+//	bits  0..1   opcode (bcStore, bcLoad, bcFence)
+//	bits  2..17  location index (dense, via CompiledTest.locIdx)
+//	bits 18..33  destination register (synced) / buf slot (perpetual)
+//	bits 34..63  witness index + 1 (0 = not a witness-recorded load)
+//
+// Wide operands, parallel to code:
+//
+//	v1[pc]  store value (synced) / sequence multiplier k (perpetual)
+//	v2[pc]  sequence offset a (perpetual); unused by synced programs
+//
+// The lowering is purely representational: opcode order, operand values
+// and the machine's RNG draw sequence are unchanged, so seeded runs are
+// byte-identical to the struct-walk engine's (held by TestEngineGolden
+// against fixtures generated before this rewrite).
+const (
+	bcStore = 0
+	bcLoad  = 1
+	bcFence = 2
+
+	bcOpMask    = 0x3
+	bcLocShift  = 2
+	bcRegShift  = 18
+	bcFieldMask = 0xFFFF
+	bcWidxShift = 34
+	bcWidxMax   = 1<<30 - 2 // widx+1 must fit in 30 bits
+)
+
+// bytecodeProg is one thread's compiled program. Immutable after
+// compilation and shared by any number of machines concurrently.
+type bytecodeProg struct {
+	code []uint64
+	v1   []int64
+	v2   []int64
+}
+
+// packInstr encodes one instruction word, rejecting operands that do
+// not fit the packed fields (unreachable for realistic litmus tests).
+func packInstr(kind litmus.OpKind, locIdx, regOrSlot int, widx int32) (uint64, error) {
+	var op uint64
+	switch kind {
+	case litmus.OpStore:
+		op = bcStore
+	case litmus.OpLoad:
+		op = bcLoad
+	case litmus.OpFence:
+		op = bcFence
+	default:
+		return 0, fmt.Errorf("sim: cannot encode op kind %v", kind)
+	}
+	if locIdx < 0 || locIdx > bcFieldMask {
+		return 0, fmt.Errorf("sim: location index %d exceeds bytecode field", locIdx)
+	}
+	if regOrSlot < 0 || regOrSlot > bcFieldMask {
+		return 0, fmt.Errorf("sim: register/slot %d exceeds bytecode field", regOrSlot)
+	}
+	if widx < -1 || widx > bcWidxMax {
+		return 0, fmt.Errorf("sim: witness index %d exceeds bytecode field", widx)
+	}
+	return op |
+		uint64(locIdx)<<bcLocShift |
+		uint64(regOrSlot)<<bcRegShift |
+		uint64(widx+1)<<bcWidxShift, nil
+}
+
+// Decode helpers, inlined into the event loops.
+func bcLoc(w uint64) int    { return int(w >> bcLocShift & bcFieldMask) }
+func bcReg(w uint64) int    { return int(w >> bcRegShift & bcFieldMask) }
+func bcWidx(w uint64) int32 { return int32(w>>bcWidxShift) - 1 }

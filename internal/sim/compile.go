@@ -16,13 +16,13 @@ type CompiledTest struct {
 	test      *litmus.Test
 	locs      []litmus.Loc
 	locIdx    map[litmus.Loc]int
-	progs     [][]simInstr
+	progs     []bytecodeProg
 	regCounts []int
 	layout    *trace.Layout
 }
 
-// Compile validates and lowers a litmus test for the synced-mode
-// machine.
+// Compile validates and lowers a litmus test to bytecode for the
+// synced-mode machine (see bytecode.go for the instruction format).
 func Compile(t *litmus.Test) (*CompiledTest, error) {
 	// The witness layout validates the test and fixes the dense load
 	// numbering the compiled programs share (loads in (thread,
@@ -36,7 +36,7 @@ func Compile(t *litmus.Test) (*CompiledTest, error) {
 		test:      t,
 		locs:      locs,
 		locIdx:    make(map[litmus.Loc]int, len(locs)),
-		progs:     make([][]simInstr, len(t.Threads)),
+		progs:     make([]bytecodeProg, len(t.Threads)),
 		regCounts: t.Regs(),
 		layout:    layout,
 	}
@@ -45,17 +45,27 @@ func Compile(t *litmus.Test) (*CompiledTest, error) {
 	}
 	nextLoad := int32(0)
 	for ti := range t.Threads {
-		prog := make([]simInstr, 0, len(t.Threads[ti].Instrs))
-		for _, in := range t.Threads[ti].Instrs {
-			si := simInstr{kind: in.Kind, reg: in.Reg, val: in.Value, widx: -1}
+		instrs := t.Threads[ti].Instrs
+		prog := bytecodeProg{
+			code: make([]uint64, 0, len(instrs)),
+			v1:   make([]int64, 0, len(instrs)),
+		}
+		for _, in := range instrs {
+			locIdx, reg, widx := 0, 0, int32(-1)
 			if in.Kind != litmus.OpFence {
-				si.locIdx = ct.locIdx[in.Loc]
+				locIdx = ct.locIdx[in.Loc]
 			}
 			if in.Kind == litmus.OpLoad {
-				si.widx = nextLoad
+				reg = in.Reg
+				widx = nextLoad
 				nextLoad++
 			}
-			prog = append(prog, si)
+			w, err := packInstr(in.Kind, locIdx, reg, widx)
+			if err != nil {
+				return nil, err
+			}
+			prog.code = append(prog.code, w)
+			prog.v1 = append(prog.v1, in.Value)
 		}
 		ct.progs[ti] = prog
 	}
@@ -89,10 +99,12 @@ func (ct *CompiledTest) WitnessLayout() *trace.Layout { return ct.layout }
 type CompiledPerpetual struct {
 	pt    *core.PerpetualTest
 	locs  []litmus.Loc
-	progs [][]simInstr
+	progs []bytecodeProg
 }
 
-// CompilePerpetual lowers a perpetual test for the machine.
+// CompilePerpetual lowers a perpetual test to bytecode for the machine:
+// store sequences become (k, a) operand pairs, loads carry their buf
+// slot in the register field.
 func CompilePerpetual(pt *core.PerpetualTest) (*CompiledPerpetual, error) {
 	t := pt.Orig
 	locs := t.Locs()
@@ -100,23 +112,35 @@ func CompilePerpetual(pt *core.PerpetualTest) (*CompiledPerpetual, error) {
 	for i, l := range locs {
 		locIdx[l] = i
 	}
-	cp := &CompiledPerpetual{pt: pt, locs: locs, progs: make([][]simInstr, len(t.Threads))}
+	cp := &CompiledPerpetual{pt: pt, locs: locs, progs: make([]bytecodeProg, len(t.Threads))}
 	for ti := range t.Threads {
-		prog := make([]simInstr, 0, len(t.Threads[ti].Instrs))
+		instrs := t.Threads[ti].Instrs
+		prog := bytecodeProg{
+			code: make([]uint64, 0, len(instrs)),
+			v1:   make([]int64, 0, len(instrs)),
+			v2:   make([]int64, 0, len(instrs)),
+		}
 		slot := 0
-		for _, in := range t.Threads[ti].Instrs {
-			si := simInstr{kind: in.Kind}
+		for _, in := range instrs {
+			locI, regOrSlot := 0, 0
+			var k, a int64
 			switch in.Kind {
 			case litmus.OpStore:
 				s := pt.StoreForValue(in.Loc, in.Value)
-				si.locIdx = locIdx[in.Loc]
-				si.k, si.a = s.K, s.A
+				locI = locIdx[in.Loc]
+				k, a = s.K, s.A
 			case litmus.OpLoad:
-				si.locIdx = locIdx[in.Loc]
-				si.slot = slot
+				locI = locIdx[in.Loc]
+				regOrSlot = slot
 				slot++
 			}
-			prog = append(prog, si)
+			w, err := packInstr(in.Kind, locI, regOrSlot, -1)
+			if err != nil {
+				return nil, err
+			}
+			prog.code = append(prog.code, w)
+			prog.v1 = append(prog.v1, k)
+			prog.v2 = append(prog.v2, a)
 		}
 		cp.progs[ti] = prog
 	}

@@ -3,7 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
-	"math/rand"
+	"math/bits"
 
 	"perple/internal/core"
 	"perple/internal/litmus"
@@ -24,25 +24,14 @@ func (m *machine) locOf(memIdx int) litmus.Loc {
 	return m.locs[memIdx/m.cells]
 }
 
-// simInstr is a pre-compiled instruction: locations resolved to indices,
-// store sequences pre-computed.
-type simInstr struct {
-	kind   litmus.OpKind
-	locIdx int
-	val    int64 // constant store value (synced mode)
-	k, a   int64 // arithmetic sequence (perpetual mode)
-	reg    int   // destination register (synced mode)
-	slot   int   // buf slot (perpetual mode)
-	widx   int32 // dense load index for witness recording; -1 when not a synced load
-}
-
-// simThread is one core executing a test thread.
+// simThread is one core executing a test thread. The program is flat
+// bytecode (see bytecode.go): code words with parallel wide operands.
 type simThread struct {
 	id    int
 	time  int64
 	speed int64 // current iteration's cost multiplier, percent
 	buf   storeBuf
-	prog  []simInstr
+	prog  bytecodeProg
 	pc    int
 	iter  int
 }
@@ -53,7 +42,7 @@ type simThread struct {
 type machine struct {
 	cfg     Config
 	pso     bool
-	rng     *rand.Rand
+	rng     lfSource
 	mem     []int64
 	threads []*simThread
 	trace   *Trace
@@ -66,6 +55,102 @@ type machine struct {
 	// cancellation poll to every cancelCheckMask+1 events.
 	done  <-chan struct{}
 	steps uint
+
+	// nextDrainAt is a conservative lower bound on the earliest pending
+	// store-buffer drain time (drainNever when empty); see applyDrains.
+	nextDrainAt int64
+
+	// Precomputed draw spans, one per config-derived range the event
+	// loops draw from. rand.Int63n recomputes two hardware divisions on
+	// every call (the rejection threshold and v % n); each span's ranges
+	// are fixed for a whole run, so initSpans hoists that work out of the
+	// hot loops entirely. See drawSpan.
+	costSpan    drawSpan // [InstrCostMin, InstrCostMax]
+	jitterSpan  drawSpan // [-SpeedJitterPct, +SpeedJitterPct]
+	preemptSpan drawSpan // [PreemptMin, PreemptMax]
+	drainSpan   drawSpan // [DrainMin, DrainMax]
+	launchSpan  drawSpan // [0, LaunchSpread]
+}
+
+// drawSpan is the precomputed rand.Int63n state for one inclusive draw
+// range [lo, lo+n-1]: the rejection threshold max, and magic/shift such
+// that for every v in [0, 2^63), v/n == (v*magic) >> 64 >> shift
+// exactly. With L = ceil(log2 n) and magic = floor(2^(63+L)/n)+1, the
+// round-up error e = magic·n − 2^(63+L) satisfies 0 < e ≤ n < 2^L, so
+// the error term e·v/2^(63+L) < 1 never carries the quotient past the
+// true floor. pow2 spans use Int63n's mask path instead.
+type drawSpan struct {
+	lo, n, max int64
+	magic      uint64
+	shift      uint
+	pow2       bool
+}
+
+// makeDrawSpan precomputes the span for draws from [lo, hi] inclusive.
+// For non-power-of-two n the 128-bit numerator 2^(63+L) is
+// hi:lo = 2^(L-1):0; bits.Div64's preconditions hold because
+// 2^(L-1) < n, and magic = quotient+1 cannot wrap because n > 2^(L-1)
+// bounds the quotient by 2^64 − 2.
+func makeDrawSpan(lo, hi int64) drawSpan {
+	if hi <= lo {
+		return drawSpan{lo: lo, n: 1}
+	}
+	s := drawSpan{lo: lo, n: hi - lo + 1}
+	if s.n&(s.n-1) == 0 {
+		s.pow2 = true
+		return s
+	}
+	n := uint64(s.n)
+	l := uint(bits.Len64(n - 1)) // ceil(log2 n); 2 ≤ l ≤ 63 here
+	q, _ := bits.Div64(1<<(l-1), 0, n)
+	s.magic, s.shift = q+1, l-1
+	s.max = int64((1<<63)-1-(1<<63)%n)
+	return s
+}
+
+// initSpans precomputes the config-derived draw spans; call after
+// setting m.cfg and before running.
+func (m *machine) initSpans() {
+	m.costSpan = makeDrawSpan(m.cfg.InstrCostMin, m.cfg.InstrCostMax)
+	m.jitterSpan = makeDrawSpan(-m.cfg.SpeedJitterPct, m.cfg.SpeedJitterPct)
+	m.preemptSpan = makeDrawSpan(m.cfg.PreemptMin, m.cfg.PreemptMax)
+	m.drainSpan = makeDrawSpan(m.cfg.DrainMin, m.cfg.DrainMax)
+	m.launchSpan = makeDrawSpan(0, m.cfg.LaunchSpread)
+}
+
+// draw replicates the package-level uniform over a precomputed span,
+// consuming RNG draws exactly as rand.Int63n does (byte-identical
+// streams, held by TestEngineGolden and TestMachineDrawMatchesRand)
+// while paying no per-call division.
+func (m *machine) draw(s *drawSpan) int64 {
+	if s.n <= 1 {
+		return s.lo
+	}
+	v := m.rng.Int63()
+	if s.pow2 {
+		return s.lo + v&(s.n-1)
+	}
+	if v > s.max {
+		v = m.redraw(s)
+	}
+	return s.lo + spanMod(s, v)
+}
+
+// redraw is draw's outlined rejection loop, taken with probability
+// below 2^-50 for the spans real configs produce; keeping the loop out
+// of draw keeps draw's body small on the hot path.
+func (m *machine) redraw(s *drawSpan) int64 {
+	v := m.rng.Int63()
+	for v > s.max {
+		v = m.rng.Int63()
+	}
+	return v
+}
+
+// spanMod returns v % s.n for v in [0, 2^63) via the cached magic pair.
+func spanMod(s *drawSpan, v int64) int64 {
+	q, _ := bits.Mul64(uint64(v), s.magic)
+	return v - int64(q>>s.shift)*s.n
 }
 
 // cancelCheckMask rate-limits cancellation polling: the event loops poll
@@ -91,8 +176,12 @@ func (m *machine) cancelled() bool {
 }
 
 func (m *machine) cost(th *simThread) int64 {
-	c := uniform(m.rng, m.cfg.InstrCostMin, m.cfg.InstrCostMax)
-	c = c * th.speed / 100
+	c := m.draw(&m.costSpan)
+	// Draw and speed are non-negative (validate enforces the cost range,
+	// newIteration clamps speed), so scale unsigned: unsigned division by
+	// a constant compiles to a plain multiply-shift without the signed
+	// fixups.
+	c = int64(uint64(c) * uint64(th.speed) / 100)
 	if c < 1 {
 		c = 1
 	}
@@ -103,13 +192,12 @@ func (m *machine) cost(th *simThread) int64 {
 // and applies a possible preemption stall.
 func (m *machine) newIteration(th *simThread, overhead int64) {
 	th.time += overhead
-	j := m.cfg.SpeedJitterPct
-	th.speed = 100 + uniform(m.rng, -j, j)
+	th.speed = 100 + m.draw(&m.jitterSpan)
 	if th.speed < 10 {
 		th.speed = 10
 	}
 	if m.cfg.PreemptProb > 0 && m.rng.Float64() < m.cfg.PreemptProb {
-		stall := uniform(m.rng, m.cfg.PreemptMin, m.cfg.PreemptMax)
+		stall := m.draw(&m.preemptSpan)
 		th.time += stall
 		if m.trace != nil {
 			m.trace.add(TraceEvent{Time: th.time, Thread: th.id, Kind: TracePreempt, Iter: th.iter, Value: stall})
@@ -134,23 +222,42 @@ func (m *machine) nextDrain(th *simThread) int {
 	return th.buf.minDrainIdx()
 }
 
+// drainNever is the nextDrainAt sentinel meaning "no store buffered":
+// far enough in the future that no event-loop clock reaches it, yet not
+// so large that settle's forever horizon fails to cross it.
+const drainNever = int64(1) << 61
+
 // applyDrains moves every pending store with drainAt ≤ upTo into shared
 // memory, in global drain order (ties broken by thread id).
+//
+// m.nextDrainAt is a conservative lower bound on the earliest pending
+// drain time — store lowers it on every push, and the full scan below
+// restores it to the exact minimum head whenever it runs — so the
+// common nothing-to-drain probe (every load pays one) is a single
+// compare instead of a scan of all thread buffers.
 func (m *machine) applyDrains(upTo int64) {
+	if upTo < m.nextDrainAt {
+		return
+	}
 	for {
 		best, bestIdx := -1, -1
 		var bestAt int64
+		minAt := drainNever
 		for _, th := range m.threads {
 			i := m.nextDrain(th)
 			if i < 0 {
 				continue
 			}
 			at := th.buf.at(i).drainAt
+			if at < minAt {
+				minAt = at
+			}
 			if at <= upTo && (best < 0 || at < bestAt) {
 				best, bestIdx, bestAt = th.id, i, at
 			}
 		}
 		if best < 0 {
+			m.nextDrainAt = minAt
 			return
 		}
 		th := m.threads[best]
@@ -175,7 +282,7 @@ func (m *machine) settle() {
 // buffer under TSO's single FIFO, per location under PSO — then advances
 // the thread clock.
 func (m *machine) store(th *simThread, memIdx int, val int64) {
-	drainAt := th.time + uniform(m.rng, m.cfg.DrainMin, m.cfg.DrainMax)
+	drainAt := th.time + m.draw(&m.drainSpan)
 	if m.pso {
 		for i := th.buf.len() - 1; i >= 0; i-- {
 			if e := th.buf.at(i); e.memIdx == memIdx {
@@ -191,6 +298,9 @@ func (m *machine) store(th *simThread, memIdx int, val int64) {
 		}
 	}
 	th.buf.push(bufEntry{memIdx: memIdx, val: val, drainAt: drainAt})
+	if drainAt < m.nextDrainAt {
+		m.nextDrainAt = drainAt
+	}
 	if m.trace != nil {
 		m.trace.add(TraceEvent{Time: th.time, Thread: th.id, Kind: TraceStore, Loc: m.locOf(memIdx),
 			Value: val, Iter: th.iter, DrainAt: drainAt})
@@ -239,12 +349,30 @@ func (m *machine) fence(th *simThread) {
 	}
 }
 
-// minTimeThread picks the runnable thread with the smallest clock; a
-// thread is runnable while runnable(th) is true. Returns nil when none.
-func (m *machine) minTimeThread(runnable func(*simThread) bool) *simThread {
+// minThreadInBody picks the smallest-clock thread still inside its
+// iteration body (pc not past the program end); nil when every thread
+// has finished its body. Specialized from the old closure-driven
+// minTimeThread so the per-event scheduling probe is a direct inlinable
+// comparison.
+func (m *machine) minThreadInBody() *simThread {
 	var best *simThread
 	for _, th := range m.threads {
-		if !runnable(th) {
+		if th.pc >= len(th.prog.code) {
+			continue
+		}
+		if best == nil || th.time < best.time || (th.time == best.time && th.id < best.id) {
+			best = th
+		}
+	}
+	return best
+}
+
+// minThreadBelowIter picks the smallest-clock thread with iterations
+// left to run; nil when every thread has completed n iterations.
+func (m *machine) minThreadBelowIter(n int) *simThread {
+	var best *simThread
+	for _, th := range m.threads {
+		if th.iter >= n {
 			continue
 		}
 		if best == nil || th.time < best.time || (th.time == best.time && th.id < best.id) {
@@ -269,6 +397,10 @@ func (m *machine) maxTime() int64 {
 // runBarriered executes iteration-by-iteration with a barrier release
 // before each.
 func (m *machine) runBarriered(n int, p modeParams, res *SyncedResult) {
+	// Mode-derived draw spans, fixed for the whole run.
+	costJitterSpan := makeDrawSpan(-p.barrierTicks/10, p.barrierTicks/10)
+	releaseSpan := makeDrawSpan(0, p.releaseSpread)
+	staggerSpan := makeDrawSpan(-p.stagger/4, p.stagger/4)
 	for iter := 0; iter < n; iter++ {
 		if m.cancelled() {
 			return
@@ -276,12 +408,12 @@ func (m *machine) runBarriered(n int, p modeParams, res *SyncedResult) {
 		// All threads arrive; the barrier charges its cost from the last
 		// arrival and releases everyone with mode-specific spread.
 		arrival := m.maxTime()
-		costJitter := uniform(m.rng, -p.barrierTicks/10, p.barrierTicks/10)
+		costJitter := m.draw(&costJitterSpan)
 		release := arrival + p.barrierTicks + costJitter
 		for _, th := range m.threads {
-			off := uniform(m.rng, 0, p.releaseSpread)
+			off := m.draw(&releaseSpan)
 			if p.stagger > 0 {
-				off += int64(th.id) * (p.stagger + uniform(m.rng, -p.stagger/4, p.stagger/4))
+				off += int64(th.id) * (p.stagger + m.draw(&staggerSpan))
 			}
 			if p.flush {
 				// userfence: propagate pending writes during the barrier.
@@ -298,7 +430,7 @@ func (m *machine) runBarriered(n int, p modeParams, res *SyncedResult) {
 		}
 		// Event loop over this iteration's bodies.
 		for {
-			th := m.minTimeThread(func(th *simThread) bool { return th.pc < len(th.prog) })
+			th := m.minThreadInBody()
 			if th == nil {
 				break
 			}
@@ -310,19 +442,19 @@ func (m *machine) runBarriered(n int, p modeParams, res *SyncedResult) {
 // runFree executes all iterations continuously with no barriers.
 func (m *machine) runFree(n int, p modeParams, res *SyncedResult) {
 	for _, th := range m.threads {
-		th.time = uniform(m.rng, 0, m.cfg.LaunchSpread)
+		th.time = m.draw(&m.launchSpan)
 		m.newIteration(th, p.iterOverhead)
 	}
 	for {
 		if m.cancelled() {
 			return
 		}
-		th := m.minTimeThread(func(th *simThread) bool { return th.iter < n })
+		th := m.minThreadBelowIter(n)
 		if th == nil {
 			break
 		}
 		m.step(th, res)
-		if th.pc >= len(th.prog) {
+		if th.pc >= len(th.prog.code) {
 			th.pc = 0
 			th.iter++
 			if th.iter < n {
@@ -332,17 +464,16 @@ func (m *machine) runFree(n int, p modeParams, res *SyncedResult) {
 	}
 }
 
-// step executes one instruction of a synced-mode thread.
+// step executes one bytecode instruction of a synced-mode thread.
 func (m *machine) step(th *simThread, res *SyncedResult) {
-	in := th.prog[th.pc]
-	base := in.locIdx*res.N + th.iter
-	switch in.kind {
-	case litmus.OpStore:
-		m.store(th, base, in.val)
-	case litmus.OpLoad:
-		v := m.load(th, base, in.widx)
-		res.Regs[th.id][th.iter*res.RegCounts[th.id]+in.reg] = v
-	case litmus.OpFence:
+	w := th.prog.code[th.pc]
+	switch w & bcOpMask {
+	case bcStore:
+		m.store(th, bcLoc(w)*res.N+th.iter, th.prog.v1[th.pc])
+	case bcLoad:
+		v := m.load(th, bcLoc(w)*res.N+th.iter, bcWidx(w))
+		res.Regs[th.id][th.iter*res.RegCounts[th.id]+bcReg(w)] = v
+	default:
 		m.fence(th)
 	}
 	th.pc++
@@ -358,22 +489,22 @@ func (m *machine) runPerpetual(ctx context.Context, n int, bufs *core.BufSet, re
 		if m.cancelled() {
 			return fmt.Errorf("sim: perpetual run aborted: %w", ctx.Err())
 		}
-		th := m.minTimeThread(func(th *simThread) bool { return th.iter < n })
+		th := m.minThreadBelowIter(n)
 		if th == nil {
 			return nil
 		}
-		in := th.prog[th.pc]
-		switch in.kind {
-		case litmus.OpStore:
-			m.store(th, in.locIdx, in.k*int64(th.iter)+in.a)
-		case litmus.OpLoad:
-			v := m.load(th, in.locIdx, -1)
-			bufs.Bufs[th.id][reads[th.id]*th.iter+in.slot] = v
-		case litmus.OpFence:
+		w := th.prog.code[th.pc]
+		switch w & bcOpMask {
+		case bcStore:
+			m.store(th, bcLoc(w), th.prog.v1[th.pc]*int64(th.iter)+th.prog.v2[th.pc])
+		case bcLoad:
+			v := m.load(th, bcLoc(w), -1)
+			bufs.Bufs[th.id][reads[th.id]*th.iter+bcReg(w)] = v
+		default:
 			m.fence(th)
 		}
 		th.pc++
-		if th.pc >= len(th.prog) {
+		if th.pc >= len(th.prog.code) {
 			th.pc = 0
 			th.iter++
 			if th.iter < n {

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMachineDrawMatchesRand locksteps machine.draw against the
+// package-level reference (rand.Int63n) over identically seeded RNGs:
+// every draw must agree exactly, proving the cached rejection threshold
+// and the Granlund–Montgomery multiply-shift modulo replicate Int63n
+// bit for bit. Spans cover small config-like ranges, powers of two,
+// negative-lo jitter ranges, degenerate spans, and spans wide enough to
+// exercise large quotients.
+func TestMachineDrawMatchesRand(t *testing.T) {
+	ranges := [][2]int64{
+		{0, 0},             // degenerate: hi == lo
+		{5, 3},             // degenerate: hi < lo
+		{0, 1},             // span 2, power of two
+		{0, 6},             // span 7
+		{1, 100},           // span 100 (InstrCost-like)
+		{-15, 15},          // span 31 (jitter-like)
+		{-7, 8},            // span 16, power of two
+		{0, 999},           // span 1000 (drain-like)
+		{10, 12},           // span 3, smallest non-power-of-two
+		{0, (1 << 40) - 2}, // wide span, large quotient path
+		{0, (1 << 31)},     // span 2^31+1
+	}
+	spans := make([]drawSpan, len(ranges))
+	for i, r := range ranges {
+		spans[i] = makeDrawSpan(r[0], r[1])
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		m := &machine{}
+		m.rng.seed(seed)
+		ref := rand.New(rand.NewSource(seed))
+		for round := 0; round < 2000; round++ {
+			i := round % len(ranges)
+			got := m.draw(&spans[i])
+			want := uniform(ref, ranges[i][0], ranges[i][1])
+			if got != want {
+				t.Fatalf("seed %d round %d span [%d,%d]: machine.draw = %d, reference = %d",
+					seed, round, ranges[i][0], ranges[i][1], got, want)
+			}
+		}
+	}
+}
+
+// TestSpanMagicExact drives the cached multiply-shift quotient directly:
+// for every non-power-of-two span size and a sweep of 63-bit values v
+// (including the extremes and values adjacent to multiples of n), the
+// magic must reproduce v % n exactly.
+func TestSpanMagicExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ns := []int64{3, 5, 6, 7, 9, 11, 31, 100, 101, 999, 1000, 1<<20 + 1, 1<<40 - 1, 1<<62 + 3}
+	for _, n := range ns {
+		s := makeDrawSpan(0, n-1)
+		if s.pow2 || s.n != n {
+			t.Fatalf("n=%d: expected non-power-of-two span of size n, got %+v", n, s)
+		}
+		check := func(v int64) {
+			t.Helper()
+			got := spanMod(&s, v)
+			if want := v % n; got != want {
+				t.Fatalf("n=%d v=%d: magic mod = %d, want %d", n, v, got, want)
+			}
+		}
+		check(0)
+		check(n - 1)
+		check(n)
+		check(n + 1)
+		check(1<<63 - 1)
+		check(s.max)
+		for i := 0; i < 2000; i++ {
+			v := rng.Int63()
+			check(v)
+			if q := v - v%n; q > 0 {
+				check(q - 1)
+				check(q)
+			}
+		}
+	}
+}
+
+// TestLFSourceMatchesRand locksteps lfSource against rand.New over
+// Int63, Uint64 and Float64, well past the seeding register length and
+// across reseeds (including a reused source, exercising the oracle
+// reuse path), proving the oracle-seeded register plus the in-package
+// recurrence replay math/rand's stream value for value.
+func TestLFSourceMatchesRand(t *testing.T) {
+	var src lfSource
+	for _, seed := range []int64{1, 2, 42, -7, 0, 1 << 40} {
+		src.seed(seed)
+		ref := rand.New(rand.NewSource(seed))
+		for i := 0; i < 3*lfLen; i++ {
+			switch i % 3 {
+			case 0:
+				if got, want := src.Int63(), ref.Int63(); got != want {
+					t.Fatalf("seed %d draw %d: Int63 = %d, want %d", seed, i, got, want)
+				}
+			case 1:
+				if got, want := src.Uint64(), ref.Uint64(); got != want {
+					t.Fatalf("seed %d draw %d: Uint64 = %d, want %d", seed, i, got, want)
+				}
+			default:
+				if got, want := src.Float64(), ref.Float64(); got != want {
+					t.Fatalf("seed %d draw %d: Float64 = %v, want %v", seed, i, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import "math/rand"
+
+// lfSource is an additive lagged-Fibonacci pseudo-random source
+// producing exactly the value stream of math/rand's default source
+// (rand.NewSource) for the same seed: x[n] = x[n−273] + x[n−607] over a
+// 607-word feedback register, outputs masked to 63 bits by Int63. The
+// simulator draws tens of millions of values per campaign through
+// math/rand's Source interface, whose dynamic dispatch defeats inlining
+// on the hottest leaf of the event loops; lfSource's concrete methods
+// inline into machine.draw, removing every call from the draw path.
+//
+// Stream equality is by construction rather than by copying the
+// stdlib's seeding tables: seed delegates to a stdlib source as an
+// oracle. rngSource.Uint64 stores each returned sum back into the
+// register slot it was produced from, so the oracle's first 607 outputs
+// ARE its register contents afterwards; one backward pass then inverts
+// the recurrence (vec[feed] -= vec[tap], cursors incrementing) 607
+// times to recover the freshly seeded register. Two's-complement int64
+// wraparound makes each backward step the exact inverse of a forward
+// step. TestLFSourceMatchesRand locksteps the two sources;
+// TestEngineGolden holds the end-to-end engine byte-identity.
+type lfSource struct {
+	vec       [lfLen]int64
+	tap, feed int
+	oracle    *rand.Rand // reusable seeding oracle; allocated on first seed
+}
+
+const (
+	lfLen  = 607
+	lfTap  = 273
+	lfMask = 1<<63 - 1
+)
+
+// seed resets the register to the state of a freshly seeded
+// rand.NewSource(seed). The oracle is kept across reseeds, so a reused
+// machine's steady state allocates nothing here after the first run.
+func (r *lfSource) seed(seed int64) {
+	if r.oracle == nil {
+		r.oracle = rand.New(rand.NewSource(seed))
+	} else {
+		r.oracle.Seed(seed)
+	}
+	// Pump lfLen outputs into the slots they are stored to: the cursor
+	// walk mirrors rngSource.Uint64, so afterwards vec, tap and feed equal
+	// the oracle's internal state exactly.
+	r.tap, r.feed = 0, lfLen-lfTap
+	for k := 0; k < lfLen; k++ {
+		r.feed--
+		if r.feed < 0 {
+			r.feed += lfLen
+		}
+		r.vec[r.feed] = int64(r.oracle.Uint64())
+	}
+	r.tap, r.feed = 0, lfLen-lfTap
+	// Rewind those lfLen steps to the just-seeded state. The cursors
+	// currently equal the values the last forward step used (decrement
+	// precedes use), so undo steps newest-first, incrementing after each.
+	for k := 0; k < lfLen; k++ {
+		r.vec[r.feed] -= r.vec[r.tap]
+		r.tap++
+		if r.tap >= lfLen {
+			r.tap = 0
+		}
+		r.feed++
+		if r.feed >= lfLen {
+			r.feed = 0
+		}
+	}
+}
+
+// Uint64 is rngSource.Uint64: the next 64-bit feedback sum.
+func (r *lfSource) Uint64() uint64 {
+	r.tap--
+	if r.tap < 0 {
+		r.tap += lfLen
+	}
+	r.feed--
+	if r.feed < 0 {
+		r.feed += lfLen
+	}
+	x := r.vec[r.feed] + r.vec[r.tap]
+	r.vec[r.feed] = x
+	return uint64(x)
+}
+
+// Int63 is rngSource.Int63: the next sum masked to 63 bits.
+func (r *lfSource) Int63() int64 {
+	return int64(r.Uint64() & lfMask)
+}
+
+// Float64 replicates rand.(*Rand).Float64, including its
+// resample-on-1.0 quirk, drawing from this stream.
+func (r *lfSource) Float64() float64 {
+	for {
+		f := float64(r.Int63()) / (1 << 63)
+		if f != 1 {
+			return f
+		}
+	}
+}

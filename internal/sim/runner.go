@@ -3,7 +3,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"perple/internal/core"
 	"perple/internal/litmus"
@@ -64,11 +63,13 @@ func (r *Runner) RunSyncedCtx(ctx context.Context, n int, mode Mode, cfg Config)
 	m := &r.m
 	m.cfg = cfg
 	m.pso = cfg.Relaxation == memmodel.PSO
+	m.initSpans()
 	m.reseed(cfg.Seed)
 	m.trace = newTrace(cfg.TraceSize)
 	m.cells = n
 	m.done = ctx.Done()
 	m.steps = 0
+	m.nextDrainAt = drainNever
 	m.mem = resizeZeroed(m.mem, len(r.ct.locs)*n)
 	for ti := range r.threads {
 		th := &r.threads[ti]
@@ -160,17 +161,19 @@ func (r *PerpetualRunner) RunCtx(ctx context.Context, n int, cfg Config) (*Perpe
 	m := &r.m
 	m.cfg = cfg
 	m.pso = cfg.Relaxation == memmodel.PSO
+	m.initSpans()
 	m.reseed(cfg.Seed)
 	m.trace = newTrace(cfg.TraceSize)
 	m.done = ctx.Done()
 	m.steps = 0
+	m.nextDrainAt = drainNever
 	m.mem = resizeZeroed(m.mem, len(r.cp.locs))
 	bufs := core.NewBufSet(r.cp.pt, n)
 	for ti := range r.threads {
 		th := &r.threads[ti]
 		th.speed, th.pc, th.iter = 100, 0, 0
 		th.buf.reset()
-		th.time = uniform(m.rng, 0, cfg.LaunchSpread)
+		th.time = m.draw(&m.launchSpan)
 		m.newIteration(th, cfg.PerpIterOverhead)
 	}
 	if n > 0 {
@@ -182,16 +185,11 @@ func (r *PerpetualRunner) RunCtx(ctx context.Context, n int, cfg Config) (*Perpe
 	return &PerpetualResult{Bufs: bufs, Ticks: m.maxTime(), Trace: m.trace}, nil
 }
 
-// reseed resets the machine's RNG to a fresh seed-derived state,
-// allocating only on first use. Seeding an existing math/rand.Rand
-// restores exactly the state of rand.New(rand.NewSource(seed)), so
+// reseed resets the machine's RNG to the state of a freshly seeded
+// rand.NewSource(seed) (see lfSource), allocating only on first use, so
 // reused machines replay the same streams as fresh ones.
 func (m *machine) reseed(seed int64) {
-	if m.rng == nil {
-		m.rng = rand.New(rand.NewSource(seed))
-		return
-	}
-	m.rng.Seed(seed)
+	m.rng.seed(seed)
 }
 
 // resizeZeroed returns s resized to n zeroed elements, reusing the
