@@ -154,9 +154,16 @@ func (d *Dispatcher) setClock(now func() time.Time) {
 	d.q.now = now
 }
 
-// Corpus returns the wire form of the campaign's spec and test set.
+// Corpus returns the wire form of the campaign's spec and test set,
+// advertising the upload codecs this dispatcher accepts (binary
+// preferred; gzip-JSON as the compatibility floor).
 func (d *Dispatcher) Corpus() CorpusResponse {
-	return CorpusResponse{Version: ProtocolVersion, Spec: d.camp.Spec, Tests: d.corpus}
+	return CorpusResponse{
+		Version: ProtocolVersion,
+		Spec:    d.camp.Spec,
+		Tests:   d.corpus,
+		Wire:    []string{WireBinary, WireJSON},
+	}
 }
 
 // Finished is closed when every job has completed or permanently failed
@@ -297,12 +304,15 @@ func (d *Dispatcher) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
 
 // Complete merges a worker's uploaded batch: results behind the
 // completion fence, failures against retry budgets, releases back to
-// the queue. payloadBytes is the compressed upload size, for the
-// upload-bytes counter.
+// the queue, and piggybacked heartbeats into lease extensions.
+// payloadBytes is the encoded upload size, for the upload-bytes
+// counter.
 func (d *Dispatcher) Complete(req CompleteRequest, payloadBytes int) CompleteResponse {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.metrics.UploadBytes.Add(int64(payloadBytes))
+	d.metrics.WireBytesRecv.Add(int64(payloadBytes))
+	d.metrics.WireBatch.Observe(len(req.Results))
 	var resp CompleteResponse
 	for _, wr := range req.Results {
 		if wr.Result == nil || !d.resultMatchesJob(wr.Result) {
@@ -362,6 +372,14 @@ func (d *Dispatcher) Complete(req CompleteRequest, payloadBytes int) CompleteRes
 			d.metrics.QueueDepth.Add(1)
 			d.metrics.InFlight.Add(-1)
 			resp.Requeued++
+		}
+	}
+	// Piggybacked heartbeats last: the leases the worker still holds get
+	// extended in the same exchange that delivered its finished shards.
+	for _, ref := range req.Heartbeat {
+		if d.q.heartbeat(req.Worker, ref) {
+			resp.Extended++
+			d.metrics.Heartbeats.Add(1)
 		}
 	}
 	d.flushCheckpointLocked()

@@ -37,7 +37,7 @@ func benchFleetSpec(b *testing.B) Spec {
 // returns as soon as the server reports the campaign done — idle
 // workers mid-poll-sleep are cut loose by context so their wakeup
 // latency (a liveness detail, not throughput) stays out of the timing.
-func runFleetOnce(b *testing.B, spec Spec, k int, runJob func(context.Context, Job, *litmus.Test, Spec) (*JobResult, error)) int {
+func runFleetOnce(b *testing.B, spec Spec, k int, runJob func(context.Context, Job, *litmus.Test, Spec) (*JobResult, error), mods ...func(*WorkerOptions)) int {
 	b.Helper()
 	srv := NewServer()
 	ts := httptest.NewServer(srv.Handler())
@@ -64,10 +64,14 @@ func runFleetOnce(b *testing.B, spec Spec, k int, runJob func(context.Context, J
 	ctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
 	for i := 0; i < k; i++ {
-		w := NewWorker(WorkerOptions{
+		opts := WorkerOptions{
 			BaseURL: ts.URL, Campaign: sub.ID, Name: fmt.Sprintf("bw%d", i),
 			Parallel: 2, runJob: runJob,
-		})
+		}
+		for _, mod := range mods {
+			mod(&opts)
+		}
+		w := NewWorker(opts)
 		wg.Add(1)
 		go func(w *Worker) {
 			defer wg.Done()
@@ -135,4 +139,47 @@ func BenchmarkFleetLoopback(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*jobs), "proto_us/shard")
 	})
+
+	// The wire sweep isolates the data-path knobs the headline number
+	// negotiates automatically: each codec at each lease batch size, all
+	// over the same no-op runner, so the deltas are pure protocol cost.
+	for _, wire := range []string{WireJSON, WireBinary} {
+		for _, batch := range []int{1, 8} {
+			b.Run(fmt.Sprintf("wire=%s/batch=%d", wire, batch), func(b *testing.B) {
+				noop := func(_ context.Context, job Job, _ *litmus.Test, _ Spec) (*JobResult, error) {
+					return fakeResult(job), nil
+				}
+				var jobs int
+				for i := 0; i < b.N; i++ {
+					jobs = runFleetOnce(b, spec, 1, noop, func(o *WorkerOptions) {
+						o.Wire = wire
+						o.LeaseBatch = batch
+					})
+				}
+				b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*jobs), "proto_us/shard")
+			})
+		}
+	}
+
+	// The payload sweep scales the per-shard histogram (the body of every
+	// upload) to show how each codec's cost grows with result size.
+	for _, keys := range []int{16, 256} {
+		for _, wire := range []string{WireJSON, WireBinary} {
+			b.Run(fmt.Sprintf("payload=%dkeys/wire=%s", keys, wire), func(b *testing.B) {
+				fat := func(_ context.Context, job Job, _ *litmus.Test, _ Spec) (*JobResult, error) {
+					jr := fakeResult(job)
+					jr.Histogram = make(map[string]int64, keys)
+					for i := 0; i < keys; i++ {
+						jr.Histogram[fmt.Sprintf("%d;%d;%d;", i, i%7, i%3)] = int64(i + 1)
+					}
+					return jr, nil
+				}
+				var jobs int
+				for i := 0; i < b.N; i++ {
+					jobs = runFleetOnce(b, spec, 1, fat, func(o *WorkerOptions) { o.Wire = wire })
+				}
+				b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*jobs), "proto_us/shard")
+			})
+		}
+	}
 }

@@ -197,6 +197,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// bodyBufPool recycles upload read buffers and dispatch response encode
+// buffers across requests, so the data path allocates payload-sized
+// scratch once per pool miss instead of once per exchange.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSONCounted is writeJSON for the dispatch data path: the body is
+// encoded compactly into a pooled buffer first, and the byte count and
+// encode time land on the campaign's wire metrics.
+func writeJSONCounted(w http.ResponseWriter, status int, v any, m *Metrics) {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	start := time.Now()
+	err := json.NewEncoder(buf).Encode(v)
+	m.WireEncodeNs.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		bodyBufPool.Put(buf)
+		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	m.WireBytesSent.Add(int64(buf.Len()))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+	bodyBufPool.Put(buf)
+}
+
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
@@ -281,6 +307,10 @@ func writePrometheus(w io.Writer, campaigns, running int, uptimeSec float64, agg
 		{"perple_results_fenced_total", "counter", "Duplicate completions dropped by the fence.", float64(agg.ResultsFenced)},
 		{"perple_duplicate_uploads_total", "counter", "Same-lease upload re-deliveries acknowledged idempotently.", float64(agg.DuplicateUploads)},
 		{"perple_upload_bytes_total", "counter", "Compressed result payload bytes received.", float64(agg.UploadBytes)},
+		{"perple_wire_bytes_recv_total", "counter", "Result-upload body bytes received, any codec.", float64(agg.WireBytesRecv)},
+		{"perple_wire_bytes_sent_total", "counter", "Dispatch-endpoint response body bytes sent.", float64(agg.WireBytesSent)},
+		{"perple_wire_encode_ns_total", "counter", "Host nanoseconds encoding dispatch responses.", float64(agg.WireEncodeNs)},
+		{"perple_wire_decode_ns_total", "counter", "Host nanoseconds decoding result uploads.", float64(agg.WireDecodeNs)},
 		{"perple_checkpoint_errors_total", "counter", "Snapshot writes that failed and were retried.", float64(agg.CheckpointErrors)},
 		{"perple_checkpoint_recoveries_total", "counter", "Resumes recovered from the rotated last-good snapshot.", float64(agg.CheckpointRecoveries)},
 		{"perple_allocs_total", "counter", "Heap allocations since metrics start (process-wide).", float64(agg.Allocs)},
@@ -288,6 +318,23 @@ func writePrometheus(w io.Writer, campaigns, running int, uptimeSec float64, agg
 	for _, m := range metrics {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}
+	writePrometheusBatchHist(w, agg.WireBatch)
+}
+
+// writePrometheusBatchHist renders the upload batch-size distribution as
+// a Prometheus histogram. The snapshot stores per-bucket counts; the
+// exposition format wants cumulative ones, so accumulate while walking
+// the buckets in upper-bound order.
+func writePrometheusBatchHist(w io.Writer, h BatchHistSnapshot) {
+	const name = "perple_wire_batch_size"
+	fmt.Fprintf(w, "# HELP %s Results per completion upload.\n# TYPE %s histogram\n", name, name)
+	var cum int64
+	for i := 0; i <= len(batchBuckets); i++ {
+		label := batchBucketLabel(i)
+		cum += h.Buckets[label]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, label, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
@@ -393,7 +440,7 @@ func (s *Server) handleCorpus(w http.ResponseWriter, req *http.Request) {
 	if disp == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, disp.Corpus())
+	writeJSONCounted(w, http.StatusOK, disp.Corpus(), disp.metrics)
 }
 
 func (s *Server) handleLease(w http.ResponseWriter, req *http.Request) {
@@ -406,7 +453,7 @@ func (s *Server) handleLease(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding lease request: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, disp.Lease(lr))
+	writeJSONCounted(w, http.StatusOK, disp.Lease(lr), disp.metrics)
 }
 
 func (s *Server) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
@@ -419,26 +466,43 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding heartbeat: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, disp.Heartbeat(hr))
+	writeJSONCounted(w, http.StatusOK, disp.Heartbeat(hr), disp.metrics)
 }
 
+// handleComplete is the upload sink. The body is read into a pooled
+// buffer and decoded by Content-Type — PWB1 binary, gzip-JSON, or plain
+// JSON — so merged shards flow from the wire into the campaign
+// accumulator through reused scratch, never through per-request
+// payload-sized garbage. A frame error (truncated or bit-damaged
+// binary upload) is answered 400 like any other undecodable body; the
+// worker's retry loop re-sends the batch, and the fence keeps the
+// re-delivery idempotent.
 func (s *Server) handleComplete(w http.ResponseWriter, req *http.Request) {
 	disp := s.lookupDispatcher(w, req)
 	if disp == nil {
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 64<<20))
-	if err != nil {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	defer bodyBufPool.Put(buf)
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, req.Body, 64<<20)); err != nil {
 		writeError(w, http.StatusBadRequest, "reading upload: %v", err)
 		return
 	}
+	body := buf.Bytes()
 	var cr CompleteRequest
-	if req.Header.Get("Content-Type") == harness.WireContentType ||
-		req.Header.Get("Content-Encoding") == "gzip" {
+	start := time.Now()
+	var err error
+	switch {
+	case req.Header.Get("Content-Type") == harness.WireContentTypeBinary:
+		err = harness.DecodeWireBinary(body, &cr, 0)
+	case req.Header.Get("Content-Type") == harness.WireContentType,
+		req.Header.Get("Content-Encoding") == "gzip":
 		err = harness.DecodeWire(bytes.NewReader(body), &cr)
-	} else {
+	default:
 		err = json.Unmarshal(body, &cr)
 	}
+	disp.metrics.WireDecodeNs.Add(time.Since(start).Nanoseconds())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "decoding upload: %v", err)
 		return
@@ -447,7 +511,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "protocol version %d, want %d", cr.Version, ProtocolVersion)
 		return
 	}
-	writeJSON(w, http.StatusOK, disp.Complete(cr, len(body)))
+	writeJSONCounted(w, http.StatusOK, disp.Complete(cr, len(body)), disp.metrics)
 }
 
 func (s *Server) lookup(req *http.Request) (*serverRun, bool) {

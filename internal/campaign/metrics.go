@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,21 @@ type Metrics struct {
 	// UploadBytes counts compressed result-payload bytes received.
 	UploadBytes atomic.Int64
 
+	// Wire-layer counters (result codec and dispatch response path).
+
+	// WireBytesRecv counts upload-request body bytes received, whichever
+	// codec carried them (same bytes as UploadBytes, kept as a separate
+	// family so the wire layer reads as one block on /metrics).
+	WireBytesRecv atomic.Int64
+	// WireBytesSent counts dispatch-endpoint response body bytes sent.
+	WireBytesSent atomic.Int64
+	// WireEncodeNs is host nanoseconds spent encoding dispatch responses.
+	WireEncodeNs atomic.Int64
+	// WireDecodeNs is host nanoseconds spent decoding result uploads.
+	WireDecodeNs atomic.Int64
+	// WireBatch is the distribution of results per upload batch.
+	WireBatch BatchHist
+
 	// Durability counters (checkpoint layer).
 
 	// CheckpointErrors counts snapshot writes that failed and will be
@@ -77,6 +93,78 @@ type Metrics struct {
 	startOnce    sync.Once
 	startNano    atomic.Int64
 	startMallocs atomic.Uint64
+}
+
+// batchBuckets are the BatchHist upper bounds (le); the final +Inf
+// bucket is implicit.
+var batchBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// BatchHist is a lock-free fixed-bucket histogram of upload batch sizes
+// (results per completion upload), shaped for Prometheus exposition:
+// cumulative bucket counts plus sum and count. The zero value is ready
+// to use; like Metrics it must not be copied after first use.
+type BatchHist struct {
+	buckets [len(batchBuckets) + 1]atomic.Int64 // last = +Inf
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one batch of n results.
+func (h *BatchHist) Observe(n int) {
+	i := 0
+	for i < len(batchBuckets) && int64(n) > batchBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(int64(n))
+	h.count.Add(1)
+}
+
+// BatchHistSnapshot is a point-in-time copy of a BatchHist, JSON-ready.
+// Buckets holds per-bucket (not cumulative) counts keyed by upper
+// bound, with "+Inf" last.
+type BatchHistSnapshot struct {
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+	Sum     int64            `json:"sum"`
+	Count   int64            `json:"count"`
+}
+
+// Snapshot copies the histogram.
+func (h *BatchHist) Snapshot() BatchHistSnapshot {
+	s := BatchHistSnapshot{Sum: h.sum.Load(), Count: h.count.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Buckets = make(map[string]int64, len(h.buckets))
+	for i := range h.buckets {
+		if v := h.buckets[i].Load(); v != 0 {
+			s.Buckets[batchBucketLabel(i)] = v
+		}
+	}
+	return s
+}
+
+// batchBucketLabel names bucket i by its upper bound.
+func batchBucketLabel(i int) string {
+	if i >= len(batchBuckets) {
+		return "+Inf"
+	}
+	return strconv.FormatInt(batchBuckets[i], 10)
+}
+
+// Merge sums another snapshot into s.
+func (s *BatchHistSnapshot) Merge(o BatchHistSnapshot) {
+	s.Sum += o.Sum
+	s.Count += o.Count
+	if len(o.Buckets) == 0 {
+		return
+	}
+	if s.Buckets == nil {
+		s.Buckets = make(map[string]int64, len(o.Buckets))
+	}
+	for k, v := range o.Buckets {
+		s.Buckets[k] += v
+	}
 }
 
 // Start marks the measurement epoch for the iterations/sec and
@@ -92,27 +180,32 @@ func (m *Metrics) Start() {
 
 // Snapshot is a point-in-time copy of every gauge, JSON-ready.
 type Snapshot struct {
-	JobsTotal            int64   `json:"jobs_total"`
-	JobsCompleted        int64   `json:"jobs_completed"`
-	JobsRestored         int64   `json:"jobs_restored"`
-	JobsFailed           int64   `json:"jobs_failed"`
-	Retries              int64   `json:"retries"`
-	QueueDepth           int64   `json:"queue_depth"`
-	InFlight             int64   `json:"in_flight"`
-	Iterations           int64   `json:"iterations"`
-	TracesVerified       int64   `json:"traces_verified"`
-	TraceViolations      int64   `json:"trace_violations"`
-	TraceVerifyNs        int64   `json:"trace_verify_ns"`
-	LeasesGranted        int64   `json:"leases_granted"`
-	LeaseRequeues        int64   `json:"lease_requeues"`
-	Heartbeats           int64   `json:"heartbeats"`
-	ResultsFenced        int64   `json:"results_fenced"`
-	DuplicateUploads     int64   `json:"duplicate_uploads"`
-	UploadBytes          int64   `json:"upload_bytes"`
-	CheckpointErrors     int64   `json:"checkpoint_errors"`
-	CheckpointRecoveries int64   `json:"checkpoint_recoveries"`
-	ElapsedSec           float64 `json:"elapsed_sec"`
-	IterationsPerSec     float64 `json:"iterations_per_sec"`
+	JobsTotal            int64             `json:"jobs_total"`
+	JobsCompleted        int64             `json:"jobs_completed"`
+	JobsRestored         int64             `json:"jobs_restored"`
+	JobsFailed           int64             `json:"jobs_failed"`
+	Retries              int64             `json:"retries"`
+	QueueDepth           int64             `json:"queue_depth"`
+	InFlight             int64             `json:"in_flight"`
+	Iterations           int64             `json:"iterations"`
+	TracesVerified       int64             `json:"traces_verified"`
+	TraceViolations      int64             `json:"trace_violations"`
+	TraceVerifyNs        int64             `json:"trace_verify_ns"`
+	LeasesGranted        int64             `json:"leases_granted"`
+	LeaseRequeues        int64             `json:"lease_requeues"`
+	Heartbeats           int64             `json:"heartbeats"`
+	ResultsFenced        int64             `json:"results_fenced"`
+	DuplicateUploads     int64             `json:"duplicate_uploads"`
+	UploadBytes          int64             `json:"upload_bytes"`
+	WireBytesRecv        int64             `json:"wire_bytes_recv"`
+	WireBytesSent        int64             `json:"wire_bytes_sent"`
+	WireEncodeNs         int64             `json:"wire_encode_ns"`
+	WireDecodeNs         int64             `json:"wire_decode_ns"`
+	WireBatch            BatchHistSnapshot `json:"wire_batch"`
+	CheckpointErrors     int64             `json:"checkpoint_errors"`
+	CheckpointRecoveries int64             `json:"checkpoint_recoveries"`
+	ElapsedSec           float64           `json:"elapsed_sec"`
+	IterationsPerSec     float64           `json:"iterations_per_sec"`
 	// Allocs is the process-wide heap-allocation count since Start (a
 	// runtime.MemStats.Mallocs delta), and AllocsPerIter divides it by
 	// the iterations completed. Process-wide means concurrent campaigns
@@ -143,6 +236,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		ResultsFenced:        m.ResultsFenced.Load(),
 		DuplicateUploads:     m.DuplicateUploads.Load(),
 		UploadBytes:          m.UploadBytes.Load(),
+		WireBytesRecv:        m.WireBytesRecv.Load(),
+		WireBytesSent:        m.WireBytesSent.Load(),
+		WireEncodeNs:         m.WireEncodeNs.Load(),
+		WireDecodeNs:         m.WireDecodeNs.Load(),
+		WireBatch:            m.WireBatch.Snapshot(),
 		CheckpointErrors:     m.CheckpointErrors.Load(),
 		CheckpointRecoveries: m.CheckpointRecoveries.Load(),
 	}
@@ -181,6 +279,11 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.ResultsFenced += o.ResultsFenced
 	s.DuplicateUploads += o.DuplicateUploads
 	s.UploadBytes += o.UploadBytes
+	s.WireBytesRecv += o.WireBytesRecv
+	s.WireBytesSent += o.WireBytesSent
+	s.WireEncodeNs += o.WireEncodeNs
+	s.WireDecodeNs += o.WireDecodeNs
+	s.WireBatch.Merge(o.WireBatch)
 	s.CheckpointErrors += o.CheckpointErrors
 	s.CheckpointRecoveries += o.CheckpointRecoveries
 	s.IterationsPerSec += o.IterationsPerSec

@@ -1,14 +1,25 @@
 package campaign
 
 // Dispatch protocol (v1): the wire types spoken between perple-serve's
-// dispatch endpoints and perple-worker. All bodies are JSON; the
-// completion upload is gzip-compressed JSON (harness.EncodeWire) because
-// it carries full per-shard histograms.
+// dispatch endpoints and perple-worker. Control bodies are JSON; the
+// completion upload carries full per-shard histograms and travels in
+// whichever result codec the pair negotiated — gzip-compressed JSON
+// (harness.EncodeWire) or the PWB1 binary codec (harness wirebin;
+// DESIGN.md §14).
 //
-//	GET  /campaigns/{id}/corpus     → CorpusResponse   (spec + test sources)
+//	GET  /campaigns/{id}/corpus     → CorpusResponse   (spec + test sources + codecs)
 //	POST /campaigns/{id}/lease      LeaseRequest → LeaseResponse
 //	POST /campaigns/{id}/heartbeat  HeartbeatRequest → HeartbeatResponse
-//	POST /campaigns/{id}/complete   CompleteRequest (gzip) → CompleteResponse
+//	POST /campaigns/{id}/complete   CompleteRequest (negotiated codec) → CompleteResponse
+//
+// Codec negotiation is one-way and advertisement-based: the dispatcher
+// lists the upload codecs it accepts in CorpusResponse.Wire, the worker
+// picks the first one it also speaks, and the upload's Content-Type
+// names the choice per request. A worker facing a dispatcher that
+// advertises nothing (a pre-binary server, whose corpus JSON simply
+// lacks the field) falls back to gzip-JSON, and a dispatcher receiving
+// a gzip-JSON upload from a pre-binary worker decodes it as ever — so
+// mixed-version fleets interoperate in both directions.
 //
 // The protocol is at-least-once by construction: a worker that crashes
 // mid-lease simply stops heartbeating and its jobs re-lease after the
@@ -18,8 +29,18 @@ package campaign
 // accounting.
 
 // ProtocolVersion guards wire compatibility; both sides refuse to talk
-// across a mismatch.
+// across a mismatch. Codec choice and heartbeat piggybacking are
+// negotiated per-field (absent means unsupported), not via the version,
+// so v1 peers of different ages keep interoperating.
 const ProtocolVersion = 1
+
+// Result-codec names used in CorpusResponse.Wire advertisements.
+const (
+	// WireJSON is the gzip-compressed JSON codec every peer speaks.
+	WireJSON = "json+gzip"
+	// WireBinary is the CRC-framed PWB1 binary codec (harness wirebin).
+	WireBinary = "binary"
+)
 
 // CorpusTest ships one litmus test to workers as parseable source, so a
 // worker needs no filesystem access to the campaign's test directory.
@@ -35,6 +56,10 @@ type CorpusResponse struct {
 	Version int          `json:"version"`
 	Spec    Spec         `json:"spec"`
 	Tests   []CorpusTest `json:"tests"`
+	// Wire lists the result-upload codecs the dispatcher accepts, in
+	// preference order (see WireJSON/WireBinary). Absent on pre-binary
+	// servers, which is itself the signal to stay on gzip-JSON.
+	Wire []string `json:"wire,omitempty"`
 }
 
 // LeaseRequest asks for up to Max jobs.
@@ -98,14 +123,21 @@ type WorkerFailure struct {
 }
 
 // CompleteRequest is the batched upload: completed results, execution
-// failures, and leases handed back un-run (graceful drain). The body is
-// gzip-compressed JSON.
+// failures, leases handed back un-run (graceful drain), and — when the
+// worker streams partial batches — heartbeats for the leases it still
+// holds, piggybacked so a mid-batch upload doubles as the lease
+// extension and saves the dedicated heartbeat round-trip. The body
+// travels in the negotiated result codec.
 type CompleteRequest struct {
 	Version  int             `json:"version"`
 	Worker   string          `json:"worker"`
 	Results  []WorkerResult  `json:"results,omitempty"`
 	Failures []WorkerFailure `json:"failures,omitempty"`
 	Released []LeaseRef      `json:"released,omitempty"`
+	// Heartbeat lists leases the worker still holds and wants extended
+	// with this upload. Pre-piggyback servers ignore the field (unknown
+	// JSON keys are skipped), costing only lease margin, never safety.
+	Heartbeat []LeaseRef `json:"heartbeat,omitempty"`
 }
 
 // CompleteResponse accounts for every uploaded item: merged into the
@@ -123,4 +155,7 @@ type CompleteResponse struct {
 	Requeued  int  `json:"requeued"`
 	Failed    int  `json:"failed"`
 	Done      bool `json:"done,omitempty"`
+	// Extended counts piggybacked heartbeats honored, mirroring
+	// HeartbeatResponse.Extended; zero from pre-piggyback servers.
+	Extended int `json:"extended,omitempty"`
 }

@@ -1,0 +1,373 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"perple/internal/harness"
+)
+
+func sampleCompleteRequest() *CompleteRequest {
+	return &CompleteRequest{
+		Version: ProtocolVersion,
+		Worker:  "rack2-a-4411",
+		Results: []WorkerResult{
+			{LeaseID: 7, Result: &JobResult{
+				JobID: 3, Test: "sb", Tool: "litmus7-user", Preset: "default",
+				Shard: 1, N: 1000, Seed: -12345, Target: 42, Ticks: 98765, Frames: 11,
+				Histogram:      map[string]int64{"0;0;": 42, "0;1;": 958},
+				Note:           "ok",
+				TracesVerified: 12, TraceViolations: 1,
+				TraceReports: []string{"cycle: rf;co"},
+			}},
+			{LeaseID: 9, Result: &JobResult{
+				JobID: 4, Test: "sb", Tool: "litmus7-user", Preset: "default",
+				Shard: 2, N: 1000, Seed: 999, Histogram: map[string]int64{"0;1;": 1000},
+			}},
+		},
+		Failures:  []WorkerFailure{{LeaseID: 11, JobID: 5, Err: "simulated crash"}},
+		Released:  []LeaseRef{{JobID: 6, LeaseID: 13}},
+		Heartbeat: []LeaseRef{{JobID: 8, LeaseID: 15}},
+	}
+}
+
+func TestCompleteRequestBinaryRoundTrip(t *testing.T) {
+	in := sampleCompleteRequest()
+	want, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := harness.EncodeWireBinary(nil, in)
+	var out CompleteRequest
+	if err := harness.DecodeWireBinary(frame, &out, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("round trip mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestCompleteRequestBinaryInterning(t *testing.T) {
+	// A batch repeating the same test/tool/preset strings must not pay
+	// for them per shard: doubling the shard count with identical
+	// identity strings should grow the frame by far less than the naive
+	// per-shard string cost.
+	base := sampleCompleteRequest()
+	small := len(harness.EncodeWireBinary(nil, base))
+	for i := 0; i < 64; i++ {
+		jr := *base.Results[0].Result
+		jr.JobID = 100 + i
+		jr.Shard = 100 + i
+		base.Results = append(base.Results, WorkerResult{LeaseID: int64(100 + i), Result: &jr})
+	}
+	big := len(harness.EncodeWireBinary(nil, base))
+	perShard := (big - small) / 64
+	if naive := len("sb") + len("litmus7-user") + len("default"); perShard >= naive+40 {
+		t.Fatalf("per-shard cost %dB suggests identity strings are not interned", perShard)
+	}
+}
+
+// FuzzCompleteRequestWire round-trips the upload payload through both
+// codecs and demands canonical-JSON equality, so the dispatcher merges
+// the same values whichever codec carried them.
+func FuzzCompleteRequestWire(f *testing.F) {
+	f.Add("w1", int64(7), int64(3), "sb", "0;1;", int64(42), "boom")
+	f.Add("", int64(0), int64(0), "", "", int64(0), "")
+	f.Add("w-\x00", int64(-1), int64(1<<40), "mp", "k;", int64(-5), "err\nline")
+	f.Fuzz(func(t *testing.T, worker string, leaseID, jobID int64, test, key string, count int64, errMsg string) {
+		worker = strings.ToValidUTF8(worker, "�")
+		test = strings.ToValidUTF8(test, "�")
+		key = strings.ToValidUTF8(key, "�")
+		errMsg = strings.ToValidUTF8(errMsg, "�")
+		in := &CompleteRequest{Version: ProtocolVersion, Worker: worker}
+		if test != "" {
+			jr := &JobResult{JobID: int(jobID), Test: test, Tool: test + "-tool", N: int(count)}
+			if key != "" {
+				jr.Histogram = map[string]int64{key: count}
+			}
+			in.Results = []WorkerResult{{LeaseID: leaseID, Result: jr}}
+			in.Heartbeat = []LeaseRef{{JobID: int(jobID) + 1, LeaseID: leaseID + 1}}
+		}
+		if errMsg != "" {
+			in.Failures = []WorkerFailure{{LeaseID: leaseID, JobID: int(jobID), Err: errMsg}}
+			in.Released = []LeaseRef{{JobID: int(jobID), LeaseID: leaseID}}
+		}
+		want, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var fromBin CompleteRequest
+		if err := harness.DecodeWireBinary(harness.EncodeWireBinary(nil, in), &fromBin, 0); err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		if got, _ := json.Marshal(&fromBin); !bytes.Equal(got, want) {
+			t.Fatalf("binary round trip:\n got %s\nwant %s", got, want)
+		}
+
+		gz, err := harness.EncodeWire(in)
+		if err != nil {
+			t.Fatalf("gzip encode: %v", err)
+		}
+		var fromGz CompleteRequest
+		if err := harness.DecodeWire(bytes.NewReader(gz), &fromGz); err != nil {
+			t.Fatalf("gzip decode: %v", err)
+		}
+		if got, _ := json.Marshal(&fromGz); !bytes.Equal(got, want) {
+			t.Fatalf("gzip round trip:\n got %s\nwant %s", got, want)
+		}
+	})
+}
+
+// FuzzCompleteRequestBinaryDecode feeds arbitrary bytes to the upload
+// decoder — the dispatcher's exposure surface — which must never panic.
+func FuzzCompleteRequestBinaryDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(harness.EncodeWireBinary(nil, sampleCompleteRequest()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out CompleteRequest
+		_ = harness.DecodeWireBinary(data, &out, 1<<20)
+	})
+}
+
+// TestFleetWireMatrix is the tentpole's byte-identity contract swept
+// across the new data-path knobs: every codec choice (negotiated,
+// forced gzip-JSON, forced binary — including a fleet mixing codecs
+// per worker) and lease batch size must merge to exactly the serial
+// run's canonical bytes, whatever the arrival order the fleet's
+// scheduling produced.
+func TestFleetWireMatrix(t *testing.T) {
+	spec := fleetSpec(t)
+	want := serialCanonical(t, spec)
+
+	cases := []struct {
+		name  string
+		wires []string // per-worker Wire option, round-robin
+		batch int
+	}{
+		{"auto-batch1", []string{"auto"}, 1},
+		{"auto-batch8", []string{"auto"}, 8},
+		{"json-batch4", []string{WireJSON}, 4},
+		{"binary-batch4", []string{WireBinary}, 4},
+		{"mixed-codecs", []string{WireBinary, WireJSON, "auto"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t)
+			id := submitDispatch(t, ts, spec)
+
+			const k = 3
+			var wg sync.WaitGroup
+			errs := make([]error, k)
+			for i := 0; i < k; i++ {
+				w := NewWorker(WorkerOptions{
+					BaseURL:    ts.URL,
+					Campaign:   id,
+					Name:       fmt.Sprintf("w%d", i),
+					Parallel:   2,
+					LeaseBatch: tc.batch,
+					Wire:       tc.wires[i%len(tc.wires)],
+				})
+				wg.Add(1)
+				go func(i int, w *Worker) {
+					defer wg.Done()
+					errs[i] = w.Run(context.Background())
+				}(i, w)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", i, err)
+				}
+			}
+			if state := pollState(t, ts, id, 30*time.Second); state != StateDone {
+				t.Fatalf("fleet campaign ended %q", state)
+			}
+			if got := fetchCanonical(t, ts, id); !bytes.Equal(got, want) {
+				t.Fatalf("%s diverged from serial run:\nserial:\n%s\nfleet:\n%s", tc.name, want, got)
+			}
+		})
+	}
+}
+
+// prebinaryProxy forwards to a real dispatch server but strips the
+// corpus codec advertisement — exactly what a pre-binary server's
+// responses look like — so an auto-mode worker must fall back to
+// gzip-JSON uploads and dedicated heartbeats.
+func prebinaryProxy(t *testing.T, backend string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		url := backend + r.URL.Path
+		req, err := http.NewRequest(r.Method, url, r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if strings.HasSuffix(r.URL.Path, "/corpus") && resp.StatusCode == http.StatusOK {
+			var corpus map[string]json.RawMessage
+			if err := json.Unmarshal(body, &corpus); err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			delete(corpus, "wire")
+			if body, err = json.Marshal(corpus); err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+	}))
+}
+
+// TestFleetMixedVersionCompat covers both interop directions: a worker
+// pinned to the old codec against a binary-preferring dispatcher, and a
+// binary-capable worker against a server that never advertises codecs.
+// Both fleets must merge byte-identically to the serial run.
+func TestFleetMixedVersionCompat(t *testing.T) {
+	spec := fleetSpec(t)
+	want := serialCanonical(t, spec)
+
+	t.Run("old-worker-new-server", func(t *testing.T) {
+		// Forcing WireJSON reproduces a pre-binary worker's uploads
+		// byte-for-byte: gzip-JSON body, json+gzip Content-Type.
+		_, ts := newTestServer(t)
+		id := submitDispatch(t, ts, spec)
+		w := NewWorker(WorkerOptions{BaseURL: ts.URL, Campaign: id, Name: "old", Parallel: 2, Wire: WireJSON})
+		if err := w.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if state := pollState(t, ts, id, 30*time.Second); state != StateDone {
+			t.Fatalf("campaign ended %q", state)
+		}
+		if got := fetchCanonical(t, ts, id); !bytes.Equal(got, want) {
+			t.Fatalf("old-worker fleet diverged:\nserial:\n%s\nfleet:\n%s", want, got)
+		}
+	})
+
+	t.Run("new-worker-old-server", func(t *testing.T) {
+		_, ts := newTestServer(t)
+		proxy := prebinaryProxy(t, ts.URL)
+		defer proxy.Close()
+		id := submitDispatch(t, ts, spec)
+		w := NewWorker(WorkerOptions{BaseURL: proxy.URL, Campaign: id, Name: "new", Parallel: 2})
+		if err := w.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if w.useBinary || w.piggyback {
+			t.Fatalf("worker negotiated binary=%v piggyback=%v against a non-advertising server", w.useBinary, w.piggyback)
+		}
+		if state := pollState(t, ts, id, 30*time.Second); state != StateDone {
+			t.Fatalf("campaign ended %q", state)
+		}
+		if got := fetchCanonical(t, ts, id); !bytes.Equal(got, want) {
+			t.Fatalf("old-server fleet diverged:\nserial:\n%s\nfleet:\n%s", want, got)
+		}
+	})
+}
+
+// TestFleetWireMetrics checks the operator surface the new data path
+// added: byte/time counters and the batch-size histogram move on the
+// JSON snapshot, and /metrics renders the Prometheus families.
+func TestFleetWireMetrics(t *testing.T) {
+	spec := fleetSpec(t)
+	_, ts := newTestServer(t)
+	id := submitDispatch(t, ts, spec)
+	w := NewWorker(WorkerOptions{BaseURL: ts.URL, Campaign: id, Name: "m1", Parallel: 2, LeaseBatch: 4})
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if state := pollState(t, ts, id, 30*time.Second); state != StateDone {
+		t.Fatalf("campaign ended %q", state)
+	}
+
+	resp, err := http.Get(ts.URL + "/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Metrics Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	m := status.Metrics
+	if m.WireBytesRecv <= 0 || m.WireBytesSent <= 0 {
+		t.Fatalf("wire byte counters did not move: recv=%d sent=%d", m.WireBytesRecv, m.WireBytesSent)
+	}
+	if m.WireEncodeNs <= 0 || m.WireDecodeNs <= 0 {
+		t.Fatalf("wire timing counters did not move: enc=%d dec=%d", m.WireEncodeNs, m.WireDecodeNs)
+	}
+	if m.WireBatch.Count <= 0 || m.WireBatch.Sum <= 0 {
+		t.Fatalf("batch histogram did not move: %+v", m.WireBatch)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	promResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promResp.Body.Close()
+	prom, _ := io.ReadAll(promResp.Body)
+	for _, family := range []string{
+		"perple_wire_bytes_recv_total",
+		"perple_wire_bytes_sent_total",
+		"perple_wire_encode_ns_total",
+		"perple_wire_decode_ns_total",
+		`perple_wire_batch_size_bucket{le="+Inf"}`,
+		"perple_wire_batch_size_sum",
+		"perple_wire_batch_size_count",
+	} {
+		if !strings.Contains(string(prom), family) {
+			t.Fatalf("Prometheus exposition lacks %s:\n%s", family, prom)
+		}
+	}
+}
+
+// TestCompleteRejectsDamagedBinary posts a bit-damaged binary frame and
+// expects a 400 — the worker-side retry contract for frame errors.
+func TestCompleteRejectsDamagedBinary(t *testing.T) {
+	spec := fleetSpec(t)
+	_, ts := newTestServer(t)
+	id := submitDispatch(t, ts, spec)
+	frame := harness.EncodeWireBinary(nil, sampleCompleteRequest())
+	frame[len(frame)/2] ^= 0x10
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/campaigns/"+id+"/complete", bytes.NewReader(frame))
+	req.Header.Set("Content-Type", harness.WireContentTypeBinary)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("damaged binary upload = %d, want 400", resp.StatusCode)
+	}
+}

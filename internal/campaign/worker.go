@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,8 +35,14 @@ type WorkerOptions struct {
 	// LeaseBatch is the number of jobs pulled per lease call; 0 selects
 	// Parallel (keep every executor busy with one round trip).
 	LeaseBatch int
-	// Client is the HTTP client; nil selects a fresh one with sane
-	// timeouts.
+	// Wire selects the result-upload codec: "auto" (default) takes the
+	// first codec the dispatcher advertises that this worker speaks,
+	// WireJSON ("json+gzip", alias "json") forces gzip-JSON, WireBinary
+	// ("binary") forces the PWB1 codec even without an advertisement.
+	Wire string
+	// Client is the HTTP client; nil selects a fresh one with keep-alives
+	// and an idle-connection pool sized to the worker's parallelism, so a
+	// batch's lease/upload/heartbeat exchanges reuse warm connections.
 	Client *http.Client
 	// HeartbeatEvery overrides the heartbeat period; 0 selects a third of
 	// the server's lease TTL.
@@ -72,6 +79,19 @@ type Worker struct {
 	brk      *breaker
 	draining atomic.Bool
 
+	// useBinary and piggyback are fixed by codec negotiation in Run
+	// before any batch goroutine starts. piggyback means the server is
+	// new enough (it advertised codecs) to honor heartbeats carried on
+	// uploads; against an older server the flusher sends dedicated
+	// heartbeats so lease extension never silently stops working.
+	useBinary bool
+	piggyback bool
+
+	// upMu serializes uploads so encBuf — the reused binary encode
+	// buffer — is never rewritten while a retry is still reading it.
+	upMu   sync.Mutex
+	encBuf []byte
+
 	// rng drives backoff and poll-wait jitter. Seeding it from the
 	// worker's name (not time or a process-global stream) keeps a fleet's
 	// members desynchronized from each other yet individually
@@ -100,7 +120,15 @@ func NewWorker(opts WorkerOptions) *Worker {
 		opts.LeaseBatch = opts.Parallel
 	}
 	if opts.Client == nil {
-		opts.Client = &http.Client{Timeout: 60 * time.Second}
+		opts.Client = &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				Proxy:               http.ProxyFromEnvironment,
+				MaxIdleConns:        100,
+				MaxIdleConnsPerHost: opts.Parallel + 4,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
 	}
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = 5
@@ -147,6 +175,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	if corpus.Version != ProtocolVersion {
 		return fmt.Errorf("campaign: server speaks protocol v%d, worker v%d", corpus.Version, ProtocolVersion)
 	}
+	if err := w.negotiateWire(corpus); err != nil {
+		return err
+	}
 	spec := corpus.Spec
 	tests := make(map[string]*litmus.Test, len(corpus.Tests))
 	for _, ct := range corpus.Tests {
@@ -191,16 +222,44 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// negotiateWire fixes the upload codec and the heartbeat style from the
+// dispatcher's corpus advertisement. Absence of an advertisement marks a
+// pre-binary server: gzip-JSON uploads and dedicated heartbeats only.
+func (w *Worker) negotiateWire(corpus *CorpusResponse) error {
+	w.piggyback = len(corpus.Wire) > 0
+	switch w.opts.Wire {
+	case "", "auto":
+		// Take the server's first advertised codec this worker speaks; no
+		// advertisement means gzip-JSON, the floor every peer shares.
+	pick:
+		for _, c := range corpus.Wire {
+			switch c {
+			case WireBinary:
+				w.useBinary = true
+				break pick
+			case WireJSON:
+				break pick
+			}
+		}
+	case WireJSON, "json":
+		w.useBinary = false
+	case WireBinary:
+		w.useBinary = true
+	default:
+		return fmt.Errorf("campaign: unknown wire codec %q (want auto, %s, or %s)", w.opts.Wire, WireJSON, WireBinary)
+	}
+	return nil
+}
+
 // runBatch executes one lease batch and uploads the outcome. It returns
 // done=true when the server reports the campaign finished.
 func (w *Worker) runBatch(ctx context.Context, lease LeaseResponse, tests map[string]*litmus.Test, spec Spec) (bool, error) {
 	ttl := time.Duration(lease.TTLSec * float64(time.Second))
-	hbStop := w.startHeartbeats(ctx, lease.Grants, ttl)
-	defer hbStop()
+	up := newBatchUpload(w, lease.Grants)
+	flStop := w.startFlusher(ctx, up, ttl)
+	defer flStop()
 
 	var (
-		mu       sync.Mutex
-		req      = CompleteRequest{Version: ProtocolVersion, Worker: w.opts.Name}
 		sem      = make(chan struct{}, w.opts.Parallel)
 		wg       sync.WaitGroup
 		abandons bool
@@ -209,9 +268,7 @@ func (w *Worker) runBatch(ctx context.Context, lease LeaseResponse, tests map[st
 		if w.draining.Load() {
 			// Graceful drain: hand unstarted grants back without touching
 			// their retry budget.
-			mu.Lock()
-			req.Released = append(req.Released, LeaseRef{JobID: grant.Job.ID, LeaseID: grant.LeaseID})
-			mu.Unlock()
+			up.addReleased(LeaseRef{JobID: grant.Job.ID, LeaseID: grant.LeaseID})
 			continue
 		}
 		select {
@@ -228,23 +285,19 @@ func (w *Worker) runBatch(ctx context.Context, lease LeaseResponse, tests map[st
 			defer func() { <-sem }()
 			test := tests[grant.Job.Test]
 			if test == nil {
-				mu.Lock()
-				req.Failures = append(req.Failures, WorkerFailure{
+				up.addFailure(WorkerFailure{
 					LeaseID: grant.LeaseID, JobID: grant.Job.ID,
 					Err: fmt.Sprintf("worker corpus is missing test %q", grant.Job.Test),
 				})
-				mu.Unlock()
 				return
 			}
 			jr, err := runRecovered(ctx, grant.Job, test, spec, w.opts.runJob)
 			if err != nil {
 				if ctx.Err() == nil {
 					w.JobsFailed.Add(1)
-					mu.Lock()
-					req.Failures = append(req.Failures, WorkerFailure{
+					up.addFailure(WorkerFailure{
 						LeaseID: grant.LeaseID, JobID: grant.Job.ID, Err: err.Error(),
 					})
-					mu.Unlock()
 				}
 				return
 			}
@@ -252,27 +305,150 @@ func (w *Worker) runBatch(ctx context.Context, lease LeaseResponse, tests map[st
 			if w.opts.OnJobDone != nil {
 				w.opts.OnJobDone(jr)
 			}
-			mu.Lock()
-			req.Results = append(req.Results, WorkerResult{LeaseID: grant.LeaseID, Result: jr})
-			mu.Unlock()
+			up.addResult(WorkerResult{LeaseID: grant.LeaseID, Result: jr})
 		}(grant)
 	}
 	wg.Wait()
-	hbStop()
+	flStop()
 	if err := ctx.Err(); err != nil {
 		// Hard stop: abandon the batch; the leases expire and requeue.
 		return false, err
 	}
-	var resp CompleteResponse
-	if err := w.uploadComplete(ctx, req, &resp); err != nil {
+	if err := up.err(); err != nil {
 		return false, err
 	}
-	return resp.Done, nil
+	// Final flush ships whatever the ticker hasn't already streamed out.
+	if err := up.flush(ctx); err != nil {
+		return false, err
+	}
+	return up.done.Load(), nil
 }
 
-// startHeartbeats extends the batch's leases until the returned stop
-// function is called (idempotent).
-func (w *Worker) startHeartbeats(ctx context.Context, grants []LeaseGrant, ttl time.Duration) func() {
+// batchUpload accumulates one lease batch's outcomes and streams them to
+// the dispatcher in sub-batches: each flush ships everything pending and
+// — on piggyback-capable servers — carries heartbeats for the leases the
+// worker still holds, so a long batch's uploads double as its lease
+// extensions. outstanding tracks grants not yet acknowledged by a
+// completed upload; a flush that dies retryably leaves them tracked, and
+// the whole batch aborts via firstErr.
+type batchUpload struct {
+	w    *Worker
+	done atomic.Bool
+
+	mu          sync.Mutex
+	pending     CompleteRequest
+	outstanding map[int64]LeaseRef // leaseID → ref, dropped once upload-acked
+	firstErr    error
+}
+
+func newBatchUpload(w *Worker, grants []LeaseGrant) *batchUpload {
+	up := &batchUpload{
+		w:           w,
+		pending:     CompleteRequest{Version: ProtocolVersion, Worker: w.opts.Name},
+		outstanding: make(map[int64]LeaseRef, len(grants)),
+	}
+	for _, g := range grants {
+		up.outstanding[g.LeaseID] = LeaseRef{JobID: g.Job.ID, LeaseID: g.LeaseID}
+	}
+	return up
+}
+
+func (u *batchUpload) addResult(r WorkerResult) {
+	u.mu.Lock()
+	u.pending.Results = append(u.pending.Results, r)
+	u.mu.Unlock()
+}
+
+func (u *batchUpload) addFailure(f WorkerFailure) {
+	u.mu.Lock()
+	u.pending.Failures = append(u.pending.Failures, f)
+	u.mu.Unlock()
+}
+
+func (u *batchUpload) addReleased(ref LeaseRef) {
+	u.mu.Lock()
+	u.pending.Released = append(u.pending.Released, ref)
+	u.mu.Unlock()
+}
+
+func (u *batchUpload) setErr(err error) {
+	u.mu.Lock()
+	if u.firstErr == nil {
+		u.firstErr = err
+	}
+	u.mu.Unlock()
+}
+
+func (u *batchUpload) err() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.firstErr
+}
+
+// flush uploads everything pending. With nothing to upload it degrades
+// to a plain heartbeat for the still-held leases; with an upload it
+// piggybacks those heartbeats when the server honors them and sends the
+// dedicated kind otherwise. Callers serialize flushes (ticker goroutine,
+// then the final call after it stops).
+func (u *batchUpload) flush(ctx context.Context) error {
+	u.mu.Lock()
+	req := u.pending
+	u.pending = CompleteRequest{Version: ProtocolVersion, Worker: u.w.opts.Name}
+	consumed := make(map[int64]bool, len(req.Results)+len(req.Failures)+len(req.Released))
+	for _, r := range req.Results {
+		consumed[r.LeaseID] = true
+	}
+	for _, f := range req.Failures {
+		consumed[f.LeaseID] = true
+	}
+	for _, ref := range req.Released {
+		consumed[ref.LeaseID] = true
+	}
+	live := make([]LeaseRef, 0, len(u.outstanding))
+	for id, ref := range u.outstanding {
+		if !consumed[id] {
+			live = append(live, ref)
+		}
+	}
+	u.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].JobID < live[j].JobID })
+
+	if len(req.Results)+len(req.Failures)+len(req.Released) == 0 {
+		if len(live) > 0 {
+			// Best-effort: a lost heartbeat only shortens the lease margin,
+			// and the server fences any fallout.
+			var hr HeartbeatResponse
+			_ = u.w.post(ctx, "heartbeat", HeartbeatRequest{Worker: u.w.opts.Name, Leases: live}, &hr)
+		}
+		return nil
+	}
+	if u.w.piggyback {
+		req.Heartbeat = live
+	}
+	var resp CompleteResponse
+	if err := u.w.uploadComplete(ctx, &req, &resp); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	for id := range consumed {
+		delete(u.outstanding, id)
+	}
+	u.mu.Unlock()
+	if resp.Done {
+		u.done.Store(true)
+	}
+	if !u.w.piggyback && len(live) > 0 {
+		var hr HeartbeatResponse
+		_ = u.w.post(ctx, "heartbeat", HeartbeatRequest{Worker: u.w.opts.Name, Leases: live}, &hr)
+	}
+	return nil
+}
+
+// startFlusher streams pending outcomes (and lease extensions) on the
+// heartbeat cadence until the returned stop function is called
+// (idempotent). A flush that fails after retries records the error and
+// stops streaming; runBatch surfaces it once the executors finish.
+func (w *Worker) startFlusher(ctx context.Context, up *batchUpload, ttl time.Duration) func() {
 	period := w.opts.HeartbeatEvery
 	if period <= 0 {
 		period = ttl / 3
@@ -280,11 +456,7 @@ func (w *Worker) startHeartbeats(ctx context.Context, grants []LeaseGrant, ttl t
 	if period <= 0 {
 		period = 10 * time.Second
 	}
-	refs := make([]LeaseRef, len(grants))
-	for i, g := range grants {
-		refs[i] = LeaseRef{JobID: g.Job.ID, LeaseID: g.LeaseID}
-	}
-	hbCtx, cancel := context.WithCancel(ctx)
+	flCtx, cancel := context.WithCancel(ctx)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -293,13 +465,15 @@ func (w *Worker) startHeartbeats(ctx context.Context, grants []LeaseGrant, ttl t
 		defer tick.Stop()
 		for {
 			select {
-			case <-hbCtx.Done():
+			case <-flCtx.Done():
 				return
 			case <-tick.C:
-				var resp HeartbeatResponse
-				// Heartbeats are best-effort: a lost one only shortens the
-				// lease margin, and the server fences any fallout.
-				_ = w.post(hbCtx, "heartbeat", HeartbeatRequest{Worker: w.opts.Name, Leases: refs}, &resp)
+				if err := up.flush(flCtx); err != nil {
+					if flCtx.Err() == nil {
+						up.setErr(err)
+					}
+					return
+				}
 			}
 		}
 	}()
@@ -345,20 +519,32 @@ func (w *Worker) post(ctx context.Context, endpoint string, body any, out any) e
 	}, out)
 }
 
-// uploadComplete gzips the batched results (harness wire codec) and
-// posts them with retry/backoff. A retried upload after a lost response
-// is safe: the server's completion fence deduplicates.
-func (w *Worker) uploadComplete(ctx context.Context, creq CompleteRequest, out *CompleteResponse) error {
-	data, err := harness.EncodeWire(&creq)
-	if err != nil {
-		return err
+// uploadComplete encodes the batched results in the negotiated codec —
+// PWB1 binary into the worker's reused buffer, or gzip-JSON — and posts
+// them with retry/backoff. A retried upload after a lost response is
+// safe: the server's completion fence deduplicates. upMu both serializes
+// the encode buffer and keeps one worker's uploads sequential.
+func (w *Worker) uploadComplete(ctx context.Context, creq *CompleteRequest, out *CompleteResponse) error {
+	w.upMu.Lock()
+	defer w.upMu.Unlock()
+	var data []byte
+	contentType := harness.WireContentType
+	if w.useBinary {
+		w.encBuf = harness.EncodeWireBinary(w.encBuf[:0], creq)
+		data = w.encBuf
+		contentType = harness.WireContentTypeBinary
+	} else {
+		var err error
+		if data, err = harness.EncodeWire(creq); err != nil {
+			return err
+		}
 	}
 	return w.retry(ctx, func() (*http.Response, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url("complete"), bytes.NewReader(data))
 		if err != nil {
 			return nil, err
 		}
-		req.Header.Set("Content-Type", harness.WireContentType)
+		req.Header.Set("Content-Type", contentType)
 		return w.opts.Client.Do(req)
 	}, out)
 }

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Wire codec for shipping results between processes: JSON for
@@ -13,36 +15,94 @@ import (
 // maps above all) compress 5-10x. The campaign dispatch protocol uses it
 // for batched shard-result uploads; anything that moves harness results
 // over a network or into an artifact store should use the same framing
-// so payloads stay mutually readable.
+// so payloads stay mutually readable. For hot paths there is a faster
+// binary sibling in wirebin.go; this codec remains the compatibility
+// floor every peer can speak.
 
 // WireContentType labels gzip-compressed JSON payloads in HTTP requests.
 const WireContentType = "application/json+gzip"
 
+// DefaultWireLimit caps how many bytes one wire payload may decode to
+// (decompressed JSON, or binary-decoded values) when the caller does
+// not supply its own cap. Result payloads are megabytes at the very
+// worst; the cap exists so a crafted payload — a gzip bomb, or a
+// front-coding expansion bomb on the binary codec — cannot balloon a
+// dispatcher's memory.
+const DefaultWireLimit = 256 << 20
+
+// ErrWireTooLarge reports a payload that would decode past the
+// configured cap. It wraps the size details; match with errors.Is.
+var ErrWireTooLarge = errors.New("harness: wire payload exceeds decode limit")
+
+// gzipWriterPool recycles gzip writers across EncodeWire calls: each
+// flate writer owns ~800KB of window state, which dominated the old
+// per-upload allocation profile.
+var gzipWriterPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+// gzipReaderPool recycles gzip readers for DecodeWire the same way.
+var gzipReaderPool = sync.Pool{}
+
 // EncodeWire renders v as gzip-compressed JSON.
 func EncodeWire(v any) ([]byte, error) {
 	var buf bytes.Buffer
-	zw := gzip.NewWriter(&buf)
+	zw := gzipWriterPool.Get().(*gzip.Writer)
+	zw.Reset(&buf)
 	enc := json.NewEncoder(zw)
 	if err := enc.Encode(v); err != nil {
+		zw.Reset(io.Discard)
+		gzipWriterPool.Put(zw)
 		return nil, fmt.Errorf("harness: encoding wire payload: %w", err)
 	}
-	if err := zw.Close(); err != nil {
+	err := zw.Close()
+	zw.Reset(io.Discard)
+	gzipWriterPool.Put(zw)
+	if err != nil {
 		return nil, fmt.Errorf("harness: compressing wire payload: %w", err)
 	}
 	return buf.Bytes(), nil
 }
 
-// DecodeWire decodes a gzip-compressed JSON payload into v, rejecting
-// trailing garbage after the JSON value.
+// DecodeWire decodes a gzip-compressed JSON payload into v with the
+// default decompression cap. It rejects trailing garbage after the JSON
+// value.
 func DecodeWire(r io.Reader, v any) error {
-	zr, err := gzip.NewReader(r)
-	if err != nil {
+	return DecodeWireLimit(r, v, DefaultWireLimit)
+}
+
+// DecodeWireLimit is DecodeWire with an explicit cap on the
+// decompressed size; limit ≤ 0 selects DefaultWireLimit. A payload
+// whose decompressed form exceeds the cap fails with an error wrapping
+// ErrWireTooLarge — the decompression-bomb guard.
+func DecodeWireLimit(r io.Reader, v any, limit int) error {
+	if limit <= 0 {
+		limit = DefaultWireLimit
+	}
+	zr, _ := gzipReaderPool.Get().(*gzip.Reader)
+	if zr == nil {
+		var err error
+		if zr, err = gzip.NewReader(r); err != nil {
+			return fmt.Errorf("harness: decompressing wire payload: %w", err)
+		}
+	} else if err := zr.Reset(r); err != nil {
+		gzipReaderPool.Put(zr)
 		return fmt.Errorf("harness: decompressing wire payload: %w", err)
 	}
-	defer zr.Close()
-	dec := json.NewDecoder(zr)
+	defer func() {
+		zr.Close()
+		gzipReaderPool.Put(zr)
+	}()
+	// The extra byte past the cap distinguishes "exactly at the limit"
+	// from "over it": seeing limit+1 decompressed bytes proves the bomb.
+	lr := &io.LimitedReader{R: zr, N: int64(limit) + 1}
+	dec := json.NewDecoder(lr)
 	if err := dec.Decode(v); err != nil {
+		if lr.N <= 0 {
+			return fmt.Errorf("%w: decompressed payload exceeds %d bytes", ErrWireTooLarge, limit)
+		}
 		return fmt.Errorf("harness: decoding wire payload: %w", err)
+	}
+	if lr.N <= 0 {
+		return fmt.Errorf("%w: decompressed payload exceeds %d bytes", ErrWireTooLarge, limit)
 	}
 	if dec.More() {
 		return fmt.Errorf("harness: trailing data after wire payload")
