@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet lint fuzz chaos trace-verify
+.PHONY: build test race bench vet check lint fuzz chaos trace-verify
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Determinism lint: the result-path packages must not read wall clocks,
-# the global math/rand source, or emit output in map-iteration order.
-lint: vet
-	$(GO) run ./scripts/analyzers/nodeterminism ./internal/sim ./internal/harness ./internal/core ./internal/litmus
+# Static invariant checks: go vet plus perple-vet's four passes
+# (nodeterminism, hotalloc, mergeorder, wirecompat) over the whole
+# module. This is the gate CI runs; see DESIGN.md §15.
+check: vet
+	$(GO) run ./cmd/perple-vet ./...
+
+# Historical alias for check (the old standalone determinism lint was
+# absorbed into perple-vet's nodeterminism pass).
+lint: check
 
 # Short local fuzz pass over the litmus parser (CI runs the seed corpus
 # as ordinary tests; this explores new inputs).

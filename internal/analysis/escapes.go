@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the optional -escapes mode of the hotalloc pass: it runs
+// the real compiler's escape analysis (`go build -gcflags=-m`) on every
+// package that contains //perple:hotpath annotations and reports any
+// "escapes to heap" / "moved to heap" decision whose position falls
+// inside an annotated function's body. The static AST rules in
+// hotalloc.go approximate the allocation set; the compiler's verdict is
+// exact for heap escapes, at the cost of shelling out to the toolchain —
+// which is why it is opt-in rather than part of the default pass.
+//
+// Findings use the "hotalloc" analyzer name, so the same
+// //perple:allow hotalloc <reason> suppressions apply (the driver runs
+// suppression filtering over these diagnostics too).
+
+// escapeSpan is one annotated function's body extent.
+type escapeSpan struct {
+	file      string // as recorded in the FileSet (driver-relative)
+	startLine int
+	endLine   int
+}
+
+// RunEscapeCheck shells out to `go build -gcflags=-m` from moduleRoot
+// for each loaded package directory containing //perple:hotpath
+// annotations and returns heap-escape diagnostics positioned inside the
+// annotated functions. Suppression is NOT applied here; callers route
+// the result through the same allowIndex as analyzer findings.
+func RunEscapeCheck(fset *token.FileSet, moduleRoot string, pkgs []*Package) ([]Diagnostic, error) {
+	spans := map[string][]escapeSpan{} // package dir -> spans
+	for _, pkg := range pkgs {
+		if pkg.External {
+			continue // test-only code is not a hot path
+		}
+		for _, file := range pkg.Files {
+			for _, fn := range hotpathFuncs(file) {
+				if fn.Body == nil {
+					continue
+				}
+				start := fset.Position(fn.Body.Pos())
+				end := fset.Position(fn.Body.End())
+				spans[pkg.Dir] = append(spans[pkg.Dir], escapeSpan{
+					file:      start.Filename,
+					startLine: start.Line,
+					endLine:   end.Line,
+				})
+			}
+		}
+	}
+	if len(spans) == 0 {
+		return nil, nil
+	}
+
+	dirs := make([]string, 0, len(spans))
+	for dir := range spans {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		abs := dir
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(moduleRoot, abs)
+		}
+		rel, err := filepath.Rel(moduleRoot, abs)
+		if err != nil {
+			return nil, fmt.Errorf("escapes: package dir %s outside module root: %v", dir, err)
+		}
+		cmd := exec.Command("go", "build", "-gcflags=-m", "./"+filepath.ToSlash(rel))
+		cmd.Dir = moduleRoot
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("escapes: go build -gcflags=-m ./%s: %v\n%s", rel, err, out)
+		}
+		diags = append(diags, parseEscapeOutput(out, moduleRoot, spans[dir])...)
+	}
+	return diags, nil
+}
+
+// parseEscapeOutput extracts in-span heap-escape decisions from
+// `go build -gcflags=-m` output. Lines look like
+//
+//	internal/sim/engine.go:142:9: &iteration{...} escapes to heap
+//	internal/sim/engine.go:87:6: moved to heap: scratch
+//
+// with file paths relative to the build working directory.
+func parseEscapeOutput(out []byte, moduleRoot string, spans []escapeSpan) []Diagnostic {
+	var diags []Diagnostic
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) < 4 {
+			continue
+		}
+		lineNo, err1 := strconv.Atoi(parts[1])
+		colNo, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		file := filepath.Join(moduleRoot, filepath.FromSlash(parts[0]))
+		for _, span := range spans {
+			abs := span.file
+			if !filepath.IsAbs(abs) {
+				abs = filepath.Join(moduleRoot, abs)
+			}
+			if abs == file && span.startLine <= lineNo && lineNo <= span.endLine {
+				diags = append(diags, Diagnostic{
+					Analyzer: "hotalloc",
+					File:     span.file,
+					Line:     lineNo,
+					Col:      colNo,
+					Message:  "compiler escape analysis: " + strings.TrimSpace(parts[3]) + " inside a //perple:hotpath function",
+				})
+				break
+			}
+		}
+	}
+	return diags
+}

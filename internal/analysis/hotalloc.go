@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotpathDirective is the annotation that marks a function as part of a
+// zero-allocation hot path:
+//
+//	//perple:hotpath cover=<exerciser-id>
+//
+// The optional cover= token names the alloc-sweep exerciser (see
+// internal/analysis/hotpath) that proves the annotation at runtime with
+// testing.AllocsPerRun; the static pass below proves it at vet time.
+const HotpathDirective = "//perple:hotpath"
+
+// NewHotalloc builds the hot-path allocation pass: every function whose
+// doc comment carries //perple:hotpath is checked for
+// allocation-causing constructs anywhere in its body — hot-path
+// functions are per-event/per-iteration code, so "only runs once per
+// call" is already too often. Flagged constructs:
+//
+//   - fmt (and log) calls — formatting allocates;
+//   - make, new, and map/slice composite literals — un-hoisted buffers;
+//   - &composite{} — heap-escaping pointer construction;
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions;
+//   - function literals — closure values allocate; hoist them;
+//   - passing or assigning a concrete value where an interface is
+//     expected — boxing allocates;
+//   - defer inside a loop — each iteration allocates a defer record.
+//
+// Genuinely cold paths inside annotated functions (a cancellation exit,
+// an amortized grow) carry //perple:allow hotalloc <reason>.
+//
+// The static rules are an approximation in both directions; the
+// runtime side (the AllocsPerRun sweep over cover= exercisers, plus
+// -escapes mode cross-checking the compiler's own escape analysis)
+// closes the gap.
+func NewHotalloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "forbid allocation-causing constructs in //perple:hotpath-annotated functions",
+	}
+	a.Run = func(pass *Pass) { runHotalloc(pass) }
+	return a
+}
+
+// hotpathFuncs returns the FuncDecls of a file that carry the
+// //perple:hotpath directive.
+func hotpathFuncs(file *ast.File) []*ast.FuncDecl {
+	var fns []*ast.FuncDecl
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		for _, c := range fn.Doc.List {
+			if strings.HasPrefix(c.Text, HotpathDirective) {
+				fns = append(fns, fn)
+				break
+			}
+		}
+	}
+	return fns
+}
+
+func runHotalloc(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, fn := range hotpathFuncs(file) {
+			if fn.Body != nil {
+				checkHotFunc(pass, fn)
+			}
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	// loops records the source spans of for/range statements so the
+	// defer rule can tell loop bodies apart.
+	var loops []ast.Node
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.Pos() < pos && pos < l.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		case *ast.CallExpr:
+			checkHotCall(pass, info, n)
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in hot path allocates; hoist it to setup")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in hot path allocates; hoist it to setup")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in hot path escapes to the heap; reuse a preallocated value")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path allocates; use a preallocated []byte")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path allocates; use a preallocated []byte")
+			}
+			checkHotAssign(pass, info, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hot path allocates; hoist it out or pass state explicitly")
+			return false // the literal's own body is cold until invoked
+		case *ast.DeferStmt:
+			if inLoop(n.Pos()) {
+				pass.Reportf(n.Pos(), "defer inside a hot loop allocates a defer record per iteration")
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating builtins, fmt/log formatting, string
+// conversions, and interface-boxing arguments.
+func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	// Builtins: make and new allocate by definition.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make in hot path allocates; hoist the buffer to setup and reuse it")
+			case "new":
+				pass.Reportf(call.Pos(), "new in hot path allocates; reuse a preallocated value")
+			}
+			return
+		}
+	}
+	// Conversions: string <-> []byte/[]rune copy and allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if argTV, ok := info.Types[call.Args[0]]; ok && argTV.Value == nil {
+			to, from := tv.Type.Underlying(), argTV.Type.Underlying()
+			if isStringByteConversion(to, from) {
+				pass.Reportf(call.Pos(), "string/byte-slice conversion in hot path allocates and copies; keep one representation")
+			}
+		}
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			pass.Reportf(call.Pos(), "fmt.%s in hot path allocates; hot paths must not format", fn.Name())
+			return
+		case "log":
+			pass.Reportf(call.Pos(), "log.%s in hot path allocates; hot paths must not log", fn.Name())
+			return
+		}
+	}
+	// Interface boxing through call arguments.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if boxes(info, param, arg) {
+			pass.Reportf(arg.Pos(), "passing %s as %s boxes the value into an interface, which allocates",
+				types.TypeString(info.TypeOf(arg), nil), types.TypeString(param, nil))
+		}
+	}
+}
+
+// checkHotAssign flags assignments that box a concrete value into an
+// interface-typed destination.
+func checkHotAssign(pass *Pass, info *types.Info, n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if boxes(info, info.TypeOf(lhs), n.Rhs[i]) {
+			pass.Reportf(n.Rhs[i].Pos(), "assigning %s to %s boxes the value into an interface, which allocates",
+				types.TypeString(info.TypeOf(n.Rhs[i]), nil), types.TypeString(info.TypeOf(lhs), nil))
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a destination of type dst
+// converts a concrete value to an interface.
+func boxes(info *types.Info, dst types.Type, expr ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type) {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return !ok || b.Kind() != types.UntypedNil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isNonConstString reports a string + string where the result is not a
+// compile-time constant.
+func isNonConstString(info *types.Info, n *ast.BinaryExpr) bool {
+	tv, ok := info.Types[n]
+	return ok && tv.Value == nil && isStringType(tv.Type)
+}
+
+// isStringByteConversion recognizes string([]byte), []byte(string),
+// string([]rune), and []rune(string) underlying-type pairs.
+func isStringByteConversion(to, from types.Type) bool {
+	isBytes := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	return (isStr(to) && isBytes(from)) || (isBytes(to) && isStr(from))
+}

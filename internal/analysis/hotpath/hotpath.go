@@ -1,0 +1,204 @@
+// Package hotpath is the runtime half of the hotalloc invariant: the
+// static pass (internal/analysis, hotalloc) proves at vet time that
+// //perple:hotpath-annotated functions contain no allocation-causing
+// constructs; this package proves at test time that exercising those
+// functions actually performs zero allocations, via
+// testing.AllocsPerRun.
+//
+// Every annotation names its covering exerciser:
+//
+//	//perple:hotpath cover=sim-synced-user
+//
+// and each annotated package carries a hotpath_allocs_test.go that calls
+// Verify with a map from cover id to an exerciser func. Verify enforces
+// the bijection — an annotation whose cover id has no exerciser fails,
+// as does an exerciser whose id matches no annotation — so annotations
+// cannot silently drift away from the sweep.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Directive is the annotation marker; kept in sync with
+// internal/analysis.HotpathDirective (duplicated to keep this package
+// importable from leaf packages without dragging in go/types loading).
+const Directive = "//perple:hotpath"
+
+// Annotation is one //perple:hotpath site.
+type Annotation struct {
+	File  string // path as given to Scan
+	Line  int
+	Func  string // annotated function name (receiver-qualified for methods)
+	Cover string // cover=<id> value, "" if the token is missing
+}
+
+// Scan parses every non-test .go file in one package directory (AST
+// only, no type checking) and returns its annotations.
+func Scan(dir string) ([]Annotation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var anns []Annotation
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				rest, ok := strings.CutPrefix(c.Text, Directive)
+				if !ok {
+					continue
+				}
+				ann := Annotation{
+					File: path,
+					Line: fset.Position(c.Pos()).Line,
+					Func: funcDisplayName(fn),
+				}
+				for _, field := range strings.Fields(rest) {
+					if v, ok := strings.CutPrefix(field, "cover="); ok {
+						ann.Cover = v
+					}
+				}
+				anns = append(anns, ann)
+				break
+			}
+		}
+	}
+	return anns, nil
+}
+
+// ScanTree walks root and returns annotations from every package
+// directory, skipping testdata, hidden, and underscore-prefixed dirs.
+func ScanTree(root string) ([]Annotation, error) {
+	var anns []Annotation
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return fs.SkipDir
+		}
+		dirAnns, err := Scan(path)
+		if err != nil {
+			return err
+		}
+		anns = append(anns, dirAnns...)
+		return nil
+	})
+	return anns, err
+}
+
+// funcDisplayName renders fn as "Name" or "(Recv).Name".
+func funcDisplayName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	var b strings.Builder
+	b.WriteString("(")
+	switch t := fn.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			b.WriteString("*" + id.Name)
+		}
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	}
+	b.WriteString(").")
+	b.WriteString(fn.Name.Name)
+	return b.String()
+}
+
+// allocRuns is how many timed iterations AllocsPerRun performs per
+// attempt; attempts is how many times a non-zero measurement is retried
+// before failing (the first calls after warmup can still trigger
+// one-off growth in interned tables).
+const (
+	allocRuns = 50
+	attempts  = 3
+)
+
+// Verify enforces the annotation/exerciser bijection for one package
+// directory and asserts every exerciser performs zero allocations per
+// run. Each exerciser must internally use warmed, reused state — Verify
+// calls it once before measuring so amortized setup (lazy buffers,
+// interning) happens outside the measured window.
+func Verify(t testing.TB, dir string, exercisers map[string]func()) {
+	t.Helper()
+	anns, err := Scan(dir)
+	if err != nil {
+		t.Fatalf("scanning %s: %v", dir, err)
+	}
+	if len(anns) == 0 {
+		t.Fatalf("no %s annotations in %s; delete this sweep test or annotate the hot functions", Directive, dir)
+	}
+
+	covered := map[string][]string{} // cover id -> annotated funcs
+	for _, ann := range anns {
+		if ann.Cover == "" {
+			t.Errorf("%s:%d: %s has a bare %s annotation; add cover=<exerciser-id> so the alloc sweep covers it",
+				ann.File, ann.Line, ann.Func, Directive)
+			continue
+		}
+		covered[ann.Cover] = append(covered[ann.Cover], ann.Func)
+	}
+	for id := range covered {
+		if _, ok := exercisers[id]; !ok {
+			t.Errorf("annotation cover=%s (functions %s) has no exerciser in this sweep",
+				id, strings.Join(covered[id], ", "))
+		}
+	}
+	ids := make([]string, 0, len(exercisers))
+	for id := range exercisers {
+		if _, ok := covered[id]; !ok {
+			t.Errorf("exerciser %q matches no %s cover= annotation in %s", id, Directive, dir)
+			continue
+		}
+		ids = append(ids, id)
+	}
+	if t.Failed() {
+		return
+	}
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		fn := exercisers[id]
+		fn() // warmup: amortized setup happens here, not in the measured runs
+		var allocs float64
+		for attempt := 0; attempt < attempts; attempt++ {
+			allocs = testing.AllocsPerRun(allocRuns, fn)
+			if allocs == 0 {
+				break
+			}
+		}
+		if allocs != 0 {
+			t.Errorf("exerciser %q (covers %s): %s allocs/op, want 0 — a //perple:hotpath function allocates",
+				id, strings.Join(covered[id], ", "), fmt.Sprintf("%.2f", allocs))
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package hotpath
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestAnnotationsHaveSweeps is the repo-wide drift check: every package
+// that contains //perple:hotpath annotations must carry a
+// hotpath_allocs_test.go sweep (whose Verify call enforces the
+// per-annotation cover bijection), and every annotation must name its
+// exerciser via cover=. Without this test, a new annotated package
+// would pass vet and tests while its zero-alloc claim goes unmeasured.
+func TestAnnotationsHaveSweeps(t *testing.T) {
+	root := moduleRoot(t)
+	anns, err := ScanTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) == 0 {
+		t.Fatalf("no %s annotations anywhere under %s; the hot paths lost their annotations", Directive, root)
+	}
+	dirs := map[string]bool{}
+	for _, ann := range anns {
+		dirs[filepath.Dir(ann.File)] = true
+		if ann.Cover == "" {
+			t.Errorf("%s:%d: %s has a bare %s annotation; add cover=<exerciser-id>", ann.File, ann.Line, ann.Func, Directive)
+		}
+	}
+	for dir := range dirs {
+		if _, err := os.Stat(filepath.Join(dir, "hotpath_allocs_test.go")); err != nil {
+			t.Errorf("package %s has %s annotations but no hotpath_allocs_test.go sweep", dir, Directive)
+		}
+	}
+}
+
+// TestScanExtractsCover pins Scan's parsing on this package's own
+// testdata fixture.
+func TestScanExtractsCover(t *testing.T) {
+	anns, err := Scan(filepath.Join("testdata", "scanfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 2 {
+		t.Fatalf("got %d annotations, want 2: %+v", len(anns), anns)
+	}
+	if anns[0].Func != "Hot" || anns[0].Cover != "fix-hot" {
+		t.Errorf("first annotation = %+v, want Hot/fix-hot", anns[0])
+	}
+	if anns[1].Func != "(*T).Method" || anns[1].Cover != "" {
+		t.Errorf("second annotation = %+v, want (*T).Method with empty cover", anns[1])
+	}
+}

@@ -1,0 +1,18 @@
+// Package scanfix is a parser fixture for hotpath.Scan.
+package scanfix
+
+// Hot is annotated with a cover id.
+//
+//perple:hotpath cover=fix-hot
+func Hot() int { return 1 }
+
+type T struct{}
+
+// Method is annotated without a cover id (Scan must still report it so
+// Verify can flag the bare annotation).
+//
+//perple:hotpath
+func (t *T) Method() int { return 2 }
+
+// Cold carries no annotation.
+func Cold() int { return 3 }

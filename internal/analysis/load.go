@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked unit: either a package's compile
+// unit merged with its in-package test files, or the external _test
+// package of a directory. Both units of a directory share Dir and Path
+// (External distinguishes them).
+type Package struct {
+	Dir      string
+	Path     string // import path (synthesized from the module root)
+	External bool   // the package-name_test unit
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+}
+
+// Loader parses and type-checks module packages with the standard
+// library resolved from GOROOT source. The module's own import paths
+// are mapped onto directories under the module root; everything else is
+// delegated to go/importer's "source" compiler, so loading works in an
+// offline, dependency-free build environment. Cgo is disabled for the
+// stdlib build context: the pure-Go fallbacks type-check identically
+// for analysis purposes and need no C toolchain.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	source  types.ImporterFrom
+	imports map[string]*types.Package // import path → non-test typed package
+	loading map[string]bool           // import cycle detection
+}
+
+// NewLoader builds a loader for the module whose go.mod is at or above
+// dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// The source importer reads the process-global build context; with
+	// cgo off it selects the pure-Go stdlib fallbacks, which type-check
+	// identically for analysis purposes and need no C toolchain.
+	build.Default.CgoEnabled = false
+	l := &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		imports:    map[string]*types.Package{},
+		loading:    map[string]bool{},
+	}
+	l.source = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// type-checked from the module tree, everything else from GOROOT
+// source.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		return l.importModule(path)
+	}
+	return l.source.ImportFrom(path, dir, mode)
+}
+
+// importModule type-checks the non-test compile unit of a module
+// package, memoized per import path.
+func (l *Loader) importModule(path string) (*types.Package, error) {
+	if pkg, ok := l.imports[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")))
+	files, _, _, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg, _, err := l.check(path, files)
+	if err != nil {
+		return nil, err
+	}
+	l.imports[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every .go file of dir into the shared fset, split
+// into the compile unit, in-package test files, and external
+// (package-name_test) test files.
+func (l *Loader) parseDir(dir string) (unit, inTest, extTest []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("analysis: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		file, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("analysis: %w", err)
+		}
+		switch {
+		case strings.HasSuffix(file.Name.Name, "_test"):
+			extTest = append(extTest, file)
+		case strings.HasSuffix(e.Name(), "_test.go"):
+			inTest = append(inTest, file)
+		default:
+			unit = append(unit, file)
+		}
+	}
+	return unit, inTest, extTest, nil
+}
+
+// check type-checks one unit against the loader's importer.
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// Load expands the pattern arguments (directories, or dir/... walks)
+// and returns every analyzed unit. Paths are taken relative to the
+// process working directory; testdata, hidden, and Go-file-free
+// directories are skipped during walks, matching go tool pattern
+// semantics.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	addDir := func(dir string) {
+		if clean := filepath.Clean(dir); !seen[clean] {
+			seen[clean] = true
+			dirs = append(dirs, clean)
+		}
+	}
+	for _, pat := range patterns {
+		base, walk := strings.CutSuffix(pat, "...")
+		if walk {
+			base = strings.TrimSuffix(base, string(filepath.Separator))
+			base = strings.TrimSuffix(base, "/")
+			if base == "" {
+				base = "."
+			}
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					addDir(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			continue
+		}
+		addDir(pat)
+	}
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		loaded, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir type-checks one directory's units for analysis: the compile
+// unit merged with in-package test files, plus the external test
+// package when present.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	unit, inTest, extTest, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(unit)+len(inTest)+len(extTest) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	path := l.importPath(dir)
+
+	var pkgs []*Package
+	if len(unit)+len(inTest) > 0 {
+		files := append(append([]*ast.File{}, unit...), inTest...)
+		pkg, info, err := l.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{Dir: dir, Path: path, Files: files, Types: pkg, Info: info})
+	}
+	if len(extTest) > 0 {
+		// The external test unit imports the package under test through
+		// the normal importer (the memoized non-test unit), so type
+		// identity holds for every other package in the import graph.
+		// In-package test helpers are not visible to it — external test
+		// files that need them would require rebuilding the whole import
+		// graph against the test variant, which this loader does not do.
+		pkg, info, err := l.check(path+"_test", extTest)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{Dir: dir, Path: path, External: true, Files: extTest, Types: pkg, Info: info})
+	}
+	return pkgs, nil
+}
+
+// importPath synthesizes the import path of a directory from its
+// position under the module root.
+func (l *Loader) importPath(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(dir)
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NewMergeorder builds the merge order-invariance pass: the repo's
+// headline guarantee is that k-worker fleet merges are byte-identical
+// to local runs, which dies the moment anything on a Merge/JSON/wire
+// path emits map entries in iteration order. Inside every `range` over
+// a map the pass flags:
+//
+//   - calls to ordered sinks — fmt printing, Write*/Put*/Encode*/
+//     Marshal*/Append* methods and functions (WireWriter, json
+//     encoders, io writers all land in this set);
+//   - appends into a slice declared outside the range that are never
+//     followed by a sort of that slice later in the same function —
+//     the collect-then-sort idiom is recognized and allowed, the
+//     collect-and-ship bug is not.
+//
+// Writes into other maps, counter increments, and sum accumulation are
+// order-invariant and pass untouched. The analyzer is deliberately
+// per-function: a map range whose unsorted output is sorted by a
+// caller needs a //perple:allow mergeorder <reason> stating exactly
+// that.
+func NewMergeorder() *Analyzer {
+	a := &Analyzer{
+		Name: "mergeorder",
+		Doc:  "forbid map-iteration-ordered output on merge, JSON, and wire paths",
+		Scope: []string{
+			"internal/harness", "internal/campaign", "internal/core",
+			"internal/sim", "internal/stats", "internal/trace",
+		},
+	}
+	a.Run = func(pass *Pass) { runMergeorder(pass) }
+	return a
+}
+
+// orderedSinkPrefixes match method/function names that emit elements in
+// call order.
+var orderedSinkPrefixes = []string{"Write", "Put", "Encode", "Marshal", "Append", "Fprint", "Print"}
+
+func runMergeorder(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMergeFunc(pass, fn)
+		}
+	}
+}
+
+func checkMergeFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	type pendingAppend struct {
+		call   *ast.CallExpr
+		target string // rendered target expression, e.g. "cp.Done"
+	}
+	var pending []pendingAppend
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(info.TypeOf(rng.X)) {
+			return true
+		}
+		declaredInRange := rangeLocalNames(rng)
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if name, sink := orderedSinkName(info, m); sink {
+					pass.Reportf(m.Pos(), "%s inside range over a map emits in randomized iteration order; sort the keys first", name)
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range m.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || i >= len(m.Lhs) || !isBuiltinAppend(info, call) {
+						continue
+					}
+					target := types.ExprString(m.Lhs[i])
+					if declaredInRange[rootIdent(m.Lhs[i])] {
+						continue // scratch local to the loop body
+					}
+					pending = append(pending, pendingAppend{call: call, target: target})
+				}
+			}
+			return true
+		})
+		// Collected appends are fine if the slice is sorted downstream of
+		// the append — either after the range completes (collect-then-
+		// sort) or immediately after the append inside the loop body
+		// (append-then-resort); both leave the final order input-
+		// determined.
+		for _, pa := range pending {
+			if !sortedAfter(fn, info, pa.target, pa.call.End()) {
+				pass.Reportf(pa.call.Pos(),
+					"append to %s from a map range is never sorted; merge/wire output will depend on map iteration order", pa.target)
+			}
+		}
+		pending = pending[:0]
+		return true
+	})
+}
+
+// rangeLocalNames returns identifiers declared by the range clause
+// itself (the key/value variables) — appends into those are loop-local
+// scratch, not escaping output.
+func rangeLocalNames(rng *ast.RangeStmt) map[string]bool {
+	names := map[string]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			names[id.Name] = true
+		}
+	}
+	return names
+}
+
+// rootIdent returns the base identifier of an expression chain
+// (x in x, x.f, x[i]).
+func rootIdent(e ast.Expr) string {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v.Name
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return ""
+		}
+	}
+}
+
+// orderedSinkName reports whether the call is an ordered sink and
+// returns a printable name for it.
+func orderedSinkName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	for _, p := range orderedSinkPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Sprint") {
+				return "", false // Sprint builds a value; flagged only if it feeds a sink
+			}
+			qual := fn.Name()
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				qual = types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return p.Name() }) + "." + fn.Name()
+			} else if fn.Pkg() != nil {
+				qual = fn.Pkg().Name() + "." + fn.Name()
+			}
+			return qual, true
+		}
+	}
+	return "", false
+}
+
+// isBuiltinAppend recognizes append(...) calls.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether target is passed to a sort.* or slices.*
+// function positioned after `after` in the function body. The sorted
+// value may be wrapped once (sort.Sort(byID(keys)) still counts as
+// sorting keys).
+func sortedAfter(fn *ast.FuncDecl, info *types.Info, target string, after token.Pos) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || found {
+			return !found
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == target {
+				found = true
+				return false
+			}
+			// One wrapping layer: a conversion or constructor around the
+			// target (sort.Sort(byID(keys))).
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok && len(inner.Args) == 1 &&
+				types.ExprString(inner.Args[0]) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewNodeterminism builds the determinism pass: the simulator's core
+// promise is that equal seeds produce equal results, so the packages on
+// the result path must not read ambient nondeterminism. It flags:
+//
+//   - calls to time.Now / time.Since / time.Until — wall-clock reads;
+//     result-affecting code must count ticks, not nanoseconds;
+//   - calls to math/rand's (or math/rand/v2's) package-level functions —
+//     the process-wide generator defeats seeded reproducibility; only
+//     the seeded-constructor functions are allowed, and methods on an
+//     owned *rand.Rand are always fine;
+//   - fmt output emitted inside a `range` over a map — Go randomizes map
+//     iteration order, so anything printed or formatted per entry must
+//     sort the keys first.
+//
+// This is the successor of the retired scripts/analyzers/nodeterminism
+// standalone AST walker. With go/types available, the rand rule now
+// distinguishes package-level calls from methods on seeded generators
+// exactly, and the map rule recognizes any map-typed range operand
+// (including named map types and struct fields the old syntactic
+// checker could not see).
+func NewNodeterminism() *Analyzer {
+	a := &Analyzer{
+		Name:  "nodeterminism",
+		Doc:   "forbid ambient nondeterminism (wall clocks, global math/rand, map-ordered output) on the result path",
+		Scope: []string{"internal/sim", "internal/harness", "internal/core", "internal/litmus"},
+	}
+	a.Run = func(pass *Pass) { runNodeterminism(pass) }
+	return a
+}
+
+// randConstructors are the math/rand (and v2) package-level functions
+// that build seeded generators rather than consuming the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runNodeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods never touch the ambient sources below
+				}
+				name := fn.Name()
+				switch fn.Pkg().Path() {
+				case "time":
+					if name == "Now" || name == "Since" || name == "Until" {
+						pass.Reportf(n.Pos(), "call to time.%s: wall-clock reads make seeded runs unreproducible; count ticks instead", name)
+					}
+				case "math/rand", "math/rand/v2":
+					if !randConstructors[name] {
+						pass.Reportf(n.Pos(), "global math/rand source via rand.%s: use rand.New(rand.NewSource(seed)) so equal seeds replay", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if !isMapType(info.TypeOf(n.X)) {
+					return true
+				}
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil &&
+						fn.Pkg().Path() == "fmt" && strings.Contains(fn.Name(), "rint") {
+						pass.Reportf(call.Pos(), "fmt.%s inside range over a map: iteration order is randomized; sort the keys first", fn.Name())
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call's callee to its function object, or nil
+// for conversions, builtins, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

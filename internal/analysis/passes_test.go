@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The fixture pairs under testdata/src/<analyzer>/{bad,good} are the
+// liveness proof for each pass: bad must produce exactly the `want`-
+// marked findings, good must produce none. CI additionally runs the
+// perple-vet driver over every bad fixture and asserts exit status 1.
+
+func TestNodeterminismFixtures(t *testing.T) {
+	runFixture(t, "testdata/src/nodeterminism/bad", NewNodeterminism())
+	runFixture(t, "testdata/src/nodeterminism/good", NewNodeterminism())
+}
+
+func TestHotallocFixtures(t *testing.T) {
+	runFixture(t, "testdata/src/hotalloc/bad", NewHotalloc())
+	runFixture(t, "testdata/src/hotalloc/good", NewHotalloc())
+}
+
+func TestMergeorderFixtures(t *testing.T) {
+	runFixture(t, "testdata/src/mergeorder/bad", NewMergeorder())
+	runFixture(t, "testdata/src/mergeorder/good", NewMergeorder())
+}
+
+func TestWirecompatStaleGolden(t *testing.T) {
+	runFixture(t, "testdata/src/wirecompat/bad", NewWirecompat(WirecompatConfig{
+		GoldenPath: filepath.Join("testdata", "src", "wirecompat", "bad", "shapes_stale.json"),
+		Roots:      []string{"perple/internal/analysis/testdata/src/wirecompat/bad.Payload"},
+	}))
+}
+
+// TestWirecompatRoundTrip regenerates a golden from the good fixture
+// and diffs it back: update-then-check must be clean, and the golden
+// must record the transitively reachable Inner struct.
+func TestWirecompatRoundTrip(t *testing.T) {
+	golden := filepath.Join(t.TempDir(), "shapes.json")
+	roots := []string{"perple/internal/analysis/testdata/src/wirecompat/good.Payload"}
+	dir := "testdata/src/wirecompat/good"
+
+	runFixture(t, dir, NewWirecompat(WirecompatConfig{GoldenPath: golden, Roots: roots, Update: true}))
+
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("update wrote no golden: %v", err)
+	}
+	var shapes WireShapes
+	if err := json.Unmarshal(data, &shapes); err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes.Structs) != 2 {
+		t.Fatalf("golden records %d structs, want 2 (Payload + reachable Inner): %s", len(shapes.Structs), data)
+	}
+
+	runFixture(t, dir, NewWirecompat(WirecompatConfig{GoldenPath: golden, Roots: roots}))
+}
+
+// TestRepoVetClean is the dogfood gate: the shipped analyzers over the
+// repo's own packages must be clean against the committed golden. A
+// failure here means a change introduced nondeterminism, a hot-path
+// allocation, order-dependent merge output, or an unrecorded wire
+// change — exactly what CI's perple-vet step rejects.
+func TestRepoVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{filepath.Join(loader.ModuleRoot, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{Analyzers: []*Analyzer{
+		NewNodeterminism(),
+		NewHotalloc(),
+		NewMergeorder(),
+		NewWirecompat(WirecompatConfig{GoldenPath: filepath.Join(loader.ModuleRoot, "testdata", "wire_shapes.json")}),
+	}}
+	for _, d := range runner.Run(loader.Fset, pkgs) {
+		t.Errorf("%s", d)
+	}
+}

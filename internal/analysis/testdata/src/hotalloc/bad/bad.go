@@ -1,0 +1,47 @@
+// Package habad is a negative fixture for the hotalloc pass: the
+// annotated function below trips every static allocation rule. CI runs
+// perple-vet over this directory and asserts exit status 1.
+package habad
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func take(v any) { _ = v }
+
+func release(v int64) { _ = v }
+
+// Hot is annotated, so every allocation-causing construct in its body
+// is a finding.
+//
+//perple:hotpath cover=ha-bad
+func Hot(vals []int64, name string, raw []byte) string {
+	out := ""
+	buf := make([]int64, 8) // want "make in hot path"
+	_ = buf
+	m := map[string]int{"a": 1} // want "map literal"
+	_ = m
+	s := []int{1, 2} // want "slice literal"
+	_ = s
+	p := &point{1, 2} // want "escapes to the heap"
+	_ = p
+	f := func() {} // want "closure literal"
+	f()
+	_ = string(raw) // want "conversion in hot path"
+	var x any
+	x = vals[0] // want "boxes the value"
+	_ = x
+	for _, v := range vals {
+		fmt.Println(v)   // want "fmt.Println in hot path"
+		take(v)          // want "boxes the value"
+		out += name      // want "string concatenation"
+		defer release(v) // want "defer inside a hot loop"
+	}
+	return out
+}
+
+// Cold performs the same operations unannotated; no findings.
+func Cold(vals []int64) []int64 {
+	buf := make([]int64, 0, len(vals))
+	return append(buf, vals...)
+}

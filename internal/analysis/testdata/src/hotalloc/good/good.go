@@ -1,0 +1,49 @@
+// Package hagood is a positive fixture for the hotalloc pass: annotated
+// functions that index, accumulate, and reuse preallocated state, plus
+// a reasoned suppression on a genuinely cold exit.
+package hagood
+
+import "fmt"
+
+type ring struct {
+	e    []int64
+	head int
+	n    int
+}
+
+// Sum is pure arithmetic over an existing slice.
+//
+//perple:hotpath cover=ha-good
+func Sum(vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// push writes into the preallocated ring without growing it.
+//
+//perple:hotpath cover=ha-good
+func (r *ring) push(v int64) {
+	r.e[(r.head+r.n)&(len(r.e)-1)] = v
+	r.n++
+}
+
+// Step polls a channel and formats only on the cold cancellation exit.
+//
+//perple:hotpath cover=ha-good
+func Step(done chan struct{}, acc *int64) error {
+	select {
+	case <-done:
+		return fmt.Errorf("aborted") //perple:allow hotalloc cold cancellation exit, taken at most once per run
+	default:
+	}
+	*acc++
+	return nil
+}
+
+// Setup allocates freely; it is not annotated.
+func Setup(n int) *ring {
+	return &ring{e: make([]int64, n)}
+}

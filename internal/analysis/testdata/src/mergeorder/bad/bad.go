@@ -1,0 +1,36 @@
+// Package mobad is a negative fixture for the mergeorder pass: map
+// iteration feeding ordered sinks and unsorted collected slices. CI
+// runs perple-vet over this directory and asserts exit status 1.
+package mobad
+
+import (
+	"fmt"
+	"io"
+)
+
+type wire struct{}
+
+func (w *wire) PutString(s string) {}
+
+// Dump prints map entries straight to a writer.
+func Dump(w io.Writer, m map[string]int64) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v) // want "randomized iteration order"
+	}
+}
+
+// Emit streams map keys into a wire encoder.
+func Emit(w *wire, m map[string]int64) {
+	for k := range m {
+		w.PutString(k) // want "randomized iteration order"
+	}
+}
+
+// Collect ships map keys without ever sorting them.
+func Collect(m map[string]int64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "never sorted"
+	}
+	return keys
+}

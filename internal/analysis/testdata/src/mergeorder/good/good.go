@@ -1,0 +1,40 @@
+// Package mogood is a positive fixture for the mergeorder pass: the
+// repo's order-invariant map idioms, which must produce zero findings.
+package mogood
+
+import "sort"
+
+// Sorted is the canonical collect-then-sort idiom.
+func Sorted(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Resorted keeps the destination sorted after every append.
+func Resorted(dst []string, m map[string]bool) []string {
+	for k := range m {
+		dst = append(dst, k)
+		sort.Strings(dst)
+	}
+	return dst
+}
+
+// Sum accumulates commutatively; iteration order cannot matter.
+func Sum(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Fold writes into another map; maps have no order to corrupt.
+func Fold(dst, src map[string]int64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}

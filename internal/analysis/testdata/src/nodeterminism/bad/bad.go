@@ -1,0 +1,38 @@
+// Package ndbad is a negative fixture for the nodeterminism pass: every
+// line below marked `want` must produce a finding, proving the pass is
+// live. CI additionally runs perple-vet over this directory and asserts
+// exit status 1.
+package ndbad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock on the result path.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock"
+}
+
+// Elapsed measures with the wall clock.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock"
+}
+
+// Draw consumes the process-global rand source.
+func Draw() int {
+	return rand.Intn(6) // want "global math/rand"
+}
+
+// Shuffle consumes the global source through a different entry point.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand"
+}
+
+// Dump prints map entries in iteration order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "iteration order is randomized"
+	}
+}

@@ -1,0 +1,11 @@
+// Package wcbad is a negative fixture for the wirecompat pass: the
+// committed shapes_stale.json records Payload.A as int64 and a field C
+// that no longer exists, and does not know about B — three findings.
+// CI runs perple-vet with this golden and asserts exit status 1.
+package wcbad
+
+// Payload drifted from the recorded shape.
+type Payload struct { // want "was removed"
+	A int    `json:"a"` // want "retyped"
+	B string `json:"b"` // want "not recorded in the shape file"
+}

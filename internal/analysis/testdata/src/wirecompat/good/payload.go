@@ -1,0 +1,17 @@
+// Package wcgood is a positive fixture for the wirecompat pass: the
+// test regenerates a golden from these structs and diffs it back,
+// which must be clean — including transitive reachability through the
+// nested Inner slice.
+package wcgood
+
+// Payload is the fixture wire root.
+type Payload struct {
+	Version int     `json:"version"`
+	Items   []Inner `json:"items,omitempty"`
+}
+
+// Inner is reachable from Payload and must be recorded too.
+type Inner struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+}

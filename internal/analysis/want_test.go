@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts `// want "regex"` expectation comments from fixture
+// files. Each marks that some diagnostic must land on its line with a
+// message matching the regex.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type wantExpect struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants parses the expectations of every loaded fixture file.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*Package) []wantExpect {
+	t.Helper()
+	var wants []wantExpect
+	seen := map[*ast.File]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			if seen[file] {
+				continue
+			}
+			seen[file] = true
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						pat, err := unquoteWant(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), m[1], err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), pat, err)
+						}
+						pos := fset.Position(c.Pos())
+						wants = append(wants, wantExpect{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// unquoteWant undoes the \" escaping the regex capture allows.
+func unquoteWant(s string) (string, error) {
+	return strings.ReplaceAll(s, `\"`, `"`), nil
+}
+
+// runFixture loads the fixture directory, runs the analyzers scopeless,
+// and checks the diagnostics against the `// want` expectations:
+// every want must be matched by a diagnostic on its line, and every
+// diagnostic must be claimed by a want.
+func runFixture(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{dir})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	runner := &Runner{Analyzers: analyzers, NoScope: true}
+	diags := runner.Run(loader.Fset, pkgs)
+	wants := collectWants(t, loader.Fset, pkgs)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		claimed := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	if t.Failed() {
+		var sb strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&sb, "  %s\n", d)
+		}
+		t.Logf("all diagnostics from %s:\n%s", dir, sb.String())
+	}
+}

@@ -238,7 +238,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
 	runs := make([]*serverRun, 0, len(s.runs))
 	for _, r := range s.runs {
-		runs = append(runs, r)
+		runs = append(runs, r) //perple:allow mergeorder runs feed order-invariant aggregation (snapshot sums, counters), never ordered output
 	}
 	s.mu.Unlock()
 

@@ -207,6 +207,8 @@ func (c *Counter) CountHeuristic(bs *BufSet) (*CountResult, error) {
 
 // bufVal reads the recorded load value for thread t's slot at its current
 // iteration index.
+//
+//perple:hotpath cover=core-count-eval
 func (c *Counter) bufVal(bs *BufSet, ref BufRef) int64 {
 	return bs.Bufs[ref.Thread][int64(c.pt.Reads[ref.Thread])*c.vals[ref.Thread]+int64(ref.Slot)]
 }
@@ -214,6 +216,8 @@ func (c *Counter) bufVal(bs *BufSet, ref BufRef) int64 {
 // eval decides whether the perpetual outcome holds for the frame whose
 // load-thread indices are in c.vals. Store-only threads are existential:
 // their constraints intersect to an interval that must meet [0, N).
+//
+//perple:hotpath cover=core-count-eval
 func (c *Counter) eval(po *PerpetualOutcome, bs *BufSet, n int64) bool {
 	if po.Unsatisfiable {
 		return false
@@ -242,6 +246,8 @@ func (c *Counter) eval(po *PerpetualOutcome, bs *BufSet, n int64) bool {
 // a largest consistent target iteration (upper bound); an FR constraint a
 // smallest (lower bound); values that prove nothing (off the target
 // thread's sequences) fail the constraint.
+//
+//perple:hotpath cover=core-count-eval
 func (c *Counter) evalConstraints(po *PerpetualOutcome, bs *BufSet) bool {
 	for i := range po.Constraints {
 		con := &po.Constraints[i]
@@ -284,6 +290,8 @@ func (c *Counter) evalConstraints(po *PerpetualOutcome, bs *BufSet) bool {
 // non-anchor indices, then evaluate like eval with every pinned variable
 // concrete. A pin that fails (value off-sequence, index out of range)
 // means the heuristic misses this anchor iteration.
+//
+//perple:hotpath cover=core-count-eval
 func (c *Counter) evalPinned(po *PerpetualOutcome, bs *BufSet, n, anchorN int64) bool {
 	if po.Unsatisfiable {
 		return false

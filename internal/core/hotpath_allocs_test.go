@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"perple/internal/analysis/hotpath"
+)
+
+// TestHotpathAllocs verifies this package's //perple:hotpath
+// annotations: the frame-evaluation kernel (eval, evalConstraints,
+// evalPinned, bufVal) shared by the exhaustive and heuristic counters
+// must be allocation-free — it runs N^TL (or N) times per count. The
+// exerciser drives the kernel directly over a small frame space rather
+// than through CountExhaustive, which allocates its fresh CountResult
+// per call by design.
+func TestHotpathAllocs(t *testing.T) {
+	pt := mustConvert(t, "sb")
+	pos, err := ConvertAllOutcomes(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter(pt, pos)
+	const n = 8
+	bs := lockstepBufs(pt, n)
+	anchor := pt.LoadThreads[0]
+	hotpath.Verify(t, ".", map[string]func(){
+		"core-count-eval": func() {
+			for i := int64(0); i < n; i++ {
+				for j := int64(0); j < n; j++ {
+					c.vals[pt.LoadThreads[0]] = i
+					c.vals[pt.LoadThreads[1]] = j
+					for _, po := range pos {
+						c.eval(po, bs, n)
+					}
+				}
+				c.vals[anchor] = i
+				for _, po := range pos {
+					c.evalPinned(po, bs, n, i)
+				}
+			}
+		},
+	})
+}

@@ -14,9 +14,9 @@ import "perple/internal/sim"
 // boundaries, byte-identical to the old rendering.
 type outcomeHist struct {
 	regCounts []int
-	stride    int     // words per outcome: sum of regCounts
-	words     []int64 // interned outcomes, stride words per id
-	counts    []int64 // occurrence count per id
+	stride    int      // words per outcome: sum of regCounts
+	words     []int64  // interned outcomes, stride words per id
+	counts    []int64  // occurrence count per id
 	keys      []string // lazily rendered key cache per id
 	table     []int32  // open addressing: 0 = empty, else id+1
 	scratch   []int64  // per-iteration gather buffer
@@ -48,6 +48,8 @@ func (h *outcomeHist) resetCounts() {
 // histograms are heavily skewed toward a few outcomes, each iteration
 // is first compared against the previous iteration's outcome, skipping
 // the hash walk and table probe entirely when it repeats.
+//
+//perple:hotpath cover=harness-litmus7-run
 func (h *outcomeHist) observeBlock(res *sim.SyncedResult, lo, hi int) {
 	last := -1
 	for iter := lo; iter < hi; iter++ {
@@ -61,6 +63,8 @@ func (h *outcomeHist) observeBlock(res *sim.SyncedResult, lo, hi int) {
 
 // observe tallies iteration iter and returns its outcome id (for a
 // fresh outcome, the id internRegs just assigned).
+//
+//perple:hotpath cover=harness-litmus7-run
 func (h *outcomeHist) observe(res *sim.SyncedResult, iter int) int {
 	hsh := uint64(0x9E3779B97F4A7C15)
 	for t, rc := range h.regCounts {
@@ -89,6 +93,8 @@ func (h *outcomeHist) observe(res *sim.SyncedResult, iter int) int {
 
 // regsEqual compares interned outcome id against iteration iter's
 // register rows without gathering them.
+//
+//perple:hotpath cover=harness-litmus7-run
 func (h *outcomeHist) regsEqual(id int, res *sim.SyncedResult, iter int) bool {
 	iw := h.words[id*h.stride : (id+1)*h.stride]
 	k := 0
@@ -107,6 +113,8 @@ func (h *outcomeHist) regsEqual(id int, res *sim.SyncedResult, iter int) bool {
 // internRegs registers a first-seen outcome: gather the rows and take
 // the interning slow path (which re-probes; the extra probe is paid
 // once per distinct outcome, not per iteration).
+//
+//perple:hotpath cover=harness-litmus7-run
 func (h *outcomeHist) internRegs(res *sim.SyncedResult, iter int) {
 	w := h.scratch[:0]
 	for t, rc := range h.regCounts {
@@ -117,6 +125,8 @@ func (h *outcomeHist) internRegs(res *sim.SyncedResult, iter int) {
 }
 
 // addWords adds delta occurrences of the outcome w (stride words).
+//
+//perple:hotpath cover=harness-litmus7-run
 func (h *outcomeHist) addWords(w []int64, delta int64) {
 	mask := len(h.table) - 1
 	i := int(hashWords(w)) & mask
@@ -141,6 +151,7 @@ func (h *outcomeHist) addWords(w []int64, delta int64) {
 	}
 }
 
+//perple:hotpath cover=harness-litmus7-run
 func (h *outcomeHist) wordsEqual(id int, w []int64) bool {
 	iw := h.words[id*h.stride : (id+1)*h.stride]
 	for i, v := range iw {
@@ -215,6 +226,8 @@ func (h *outcomeHist) materializeInto(m map[string]int64) {
 
 // hashWords mixes the outcome words murmur-style; collisions only cost
 // linear probes, never correctness.
+//
+//perple:hotpath cover=harness-litmus7-run
 func hashWords(w []int64) uint64 {
 	h := uint64(0x9E3779B97F4A7C15)
 	for _, v := range w {

@@ -93,7 +93,7 @@ func (lr *Litmus7Runner) Run(n int, mode sim.Mode, cfg sim.Config) (*Litmus7Resu
 // RunCtx is Run under a context; see RunLitmus7Ctx for cancellation
 // semantics.
 func (lr *Litmus7Runner) RunCtx(ctx context.Context, n int, mode sim.Mode, cfg sim.Config) (*Litmus7Result, error) {
-	start := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
+	start := time.Now() //perple:allow nodeterminism wall-clock telemetry; never feeds results
 	if lr.checker != nil {
 		// Witness recording is a pure observer of the machine, so the
 		// override cannot perturb the run (the sim determinism suite
@@ -169,7 +169,7 @@ func (lr *Litmus7Runner) RunCtx(ctx context.Context, n int, mode sim.Mode, cfg s
 		}
 	}
 	lr.hist.materializeInto(res.Histogram)
-	res.Wall = time.Since(start) //nodeterminism:allow wall-clock telemetry; never feeds results
+	res.Wall = time.Since(start) //perple:allow nodeterminism wall-clock telemetry; never feeds results
 	return res, nil
 }
 

@@ -122,7 +122,7 @@ func RunPerpLECtx(ctx context.Context, pt *core.PerpetualTest, counter *core.Cou
 	if !opts.Exhaustive && !opts.Heuristic && !opts.KeepBufs {
 		return nil, fmt.Errorf("harness: PerpLE run requests no counter and no buffers; nothing to do")
 	}
-	start := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
+	start := time.Now() //perple:allow nodeterminism wall-clock telemetry; never feeds results
 	simRes, err := sim.RunPerpetualCtx(ctx, pt, n, cfg)
 	if err != nil {
 		return nil, err
@@ -130,7 +130,7 @@ func RunPerpLECtx(ctx context.Context, pt *core.PerpetualTest, counter *core.Cou
 	res := &PerpLEResult{
 		N:         n,
 		ExecTicks: simRes.Ticks,
-		WallExec:  time.Since(start), //nodeterminism:allow wall-clock telemetry; never feeds results
+		WallExec:  time.Since(start), //perple:allow nodeterminism wall-clock telemetry; never feeds results
 		Trace:     simRes.Trace,
 	}
 
@@ -141,7 +141,7 @@ func RunPerpLECtx(ctx context.Context, pt *core.PerpetualTest, counter *core.Cou
 			res.ExhaustiveN = opts.ExhaustiveCap
 			bs = truncateBufs(pt, simRes.Bufs, opts.ExhaustiveCap)
 		}
-		t0 := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
+		t0 := time.Now() //perple:allow nodeterminism wall-clock telemetry; never feeds results
 		// Auto-select the factorized counter when the outcome set is
 		// product-form, else the parallel odometer (whose slab walk polls
 		// ctx). Tallies are identical either way.
@@ -150,20 +150,20 @@ func RunPerpLECtx(ctx context.Context, pt *core.PerpetualTest, counter *core.Cou
 			return nil, err
 		}
 		res.Exhaustive = cr
-		res.WallExh = time.Since(t0) //nodeterminism:allow wall-clock telemetry; never feeds results
+		res.WallExh = time.Since(t0) //perple:allow nodeterminism wall-clock telemetry; never feeds results
 		res.ExhCountTicks = int64(float64(cr.Frames) * cfg.ExhFrameTick * float64(len(counter.Outcomes())))
 	}
 	if opts.Heuristic {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("harness: heuristic count aborted: %w", err)
 		}
-		t0 := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
+		t0 := time.Now() //perple:allow nodeterminism wall-clock telemetry; never feeds results
 		cr, err := counter.CountHeuristicParallel(ctx, simRes.Bufs, max(1, opts.CountWorkers))
 		if err != nil {
 			return nil, err
 		}
 		res.Heuristic = cr
-		res.WallHeur = time.Since(t0) //nodeterminism:allow wall-clock telemetry; never feeds results
+		res.WallHeur = time.Since(t0) //perple:allow nodeterminism wall-clock telemetry; never feeds results
 		res.HeurCountTicks = int64(float64(cr.Frames) * cfg.HeurFrameTick * float64(len(counter.Outcomes())))
 	}
 	if opts.KeepBufs {

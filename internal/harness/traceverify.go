@@ -76,7 +76,7 @@ func (lr *Litmus7Runner) SetTraceVerify(tv TraceVerify) error {
 // verifyWitnesses checks every recorded witness of a run, filling the
 // result's trace-verification tallies.
 func (lr *Litmus7Runner) verifyWitnesses(ctx context.Context, w *trace.WitnessSet, res *Litmus7Result) error {
-	start := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
+	start := time.Now() //perple:allow nodeterminism wall-clock telemetry; never feeds results
 	done := ctx.Done()
 	cap := lr.tv.reports()
 	for s := 0; s < w.Slots; s++ {
@@ -99,7 +99,7 @@ func (lr *Litmus7Runner) verifyWitnesses(ctx context.Context, w *trace.WitnessSe
 			}
 		}
 	}
-	res.TraceVerifyNs += time.Since(start).Nanoseconds() //nodeterminism:allow wall-clock telemetry; never feeds results
+	res.TraceVerifyNs += time.Since(start).Nanoseconds() //perple:allow nodeterminism wall-clock telemetry; never feeds results
 	return nil
 }
 
@@ -116,7 +116,7 @@ func RunLitmus7BatchVerify(t *litmus.Test, n int, mode sim.Mode, outcomes []litm
 // never perturbs it, so histograms and tallies are bit-identical to an
 // unverified batch with the same arguments.
 func RunLitmus7BatchVerifyCtx(ctx context.Context, t *litmus.Test, n int, mode sim.Mode, outcomes []litmus.Outcome, cfg sim.Config, workers int, tv TraceVerify) (*Litmus7Result, error) {
-	start := time.Now() //nodeterminism:allow wall-clock telemetry; never feeds results
+	start := time.Now() //perple:allow nodeterminism wall-clock telemetry; never feeds results
 	ct, err := sim.Compile(t)
 	if err != nil {
 		return nil, err
@@ -187,6 +187,6 @@ func RunLitmus7BatchVerifyCtx(ctx context.Context, t *litmus.Test, n int, mode s
 		merged.merge(runners[w].hist)
 	}
 	merged.materializeInto(out.Histogram)
-	out.Wall = time.Since(start) //nodeterminism:allow wall-clock telemetry; never feeds results
+	out.Wall = time.Since(start) //perple:allow nodeterminism wall-clock telemetry; never feeds results
 	return out, nil
 }

@@ -104,7 +104,7 @@ func makeDrawSpan(lo, hi int64) drawSpan {
 	l := uint(bits.Len64(n - 1)) // ceil(log2 n); 2 ≤ l ≤ 63 here
 	q, _ := bits.Div64(1<<(l-1), 0, n)
 	s.magic, s.shift = q+1, l-1
-	s.max = int64((1<<63)-1-(1<<63)%n)
+	s.max = int64((1 << 63) - 1 - (1<<63)%n)
 	return s
 }
 
@@ -122,6 +122,8 @@ func (m *machine) initSpans() {
 // consuming RNG draws exactly as rand.Int63n does (byte-identical
 // streams, held by TestEngineGolden and TestMachineDrawMatchesRand)
 // while paying no per-call division.
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) draw(s *drawSpan) int64 {
 	if s.n <= 1 {
 		return s.lo
@@ -139,6 +141,8 @@ func (m *machine) draw(s *drawSpan) int64 {
 // redraw is draw's outlined rejection loop, taken with probability
 // below 2^-50 for the spans real configs produce; keeping the loop out
 // of draw keeps draw's body small on the hot path.
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) redraw(s *drawSpan) int64 {
 	v := m.rng.Int63()
 	for v > s.max {
@@ -148,6 +152,8 @@ func (m *machine) redraw(s *drawSpan) int64 {
 }
 
 // spanMod returns v % s.n for v in [0, 2^63) via the cached magic pair.
+//
+//perple:hotpath cover=sim-synced-user
 func spanMod(s *drawSpan, v int64) int64 {
 	q, _ := bits.Mul64(uint64(v), s.magic)
 	return v - int64(q>>s.shift)*s.n
@@ -159,6 +165,8 @@ func spanMod(s *drawSpan, v int64) int64 {
 const cancelCheckMask = 1023
 
 // cancelled polls the run context at most every cancelCheckMask+1 calls.
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) cancelled() bool {
 	if m.done == nil {
 		return false
@@ -175,6 +183,7 @@ func (m *machine) cancelled() bool {
 	}
 }
 
+//perple:hotpath cover=sim-synced-user
 func (m *machine) cost(th *simThread) int64 {
 	c := m.draw(&m.costSpan)
 	// Draw and speed are non-negative (validate enforces the cost range,
@@ -190,6 +199,8 @@ func (m *machine) cost(th *simThread) int64 {
 
 // newIteration charges iteration bookkeeping, re-draws the thread's speed
 // and applies a possible preemption stall.
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) newIteration(th *simThread, overhead int64) {
 	th.time += overhead
 	th.speed = 100 + m.draw(&m.jitterSpan)
@@ -212,6 +223,8 @@ func (m *machine) newIteration(th *simThread, overhead int64) {
 // — applyDrains probes every thread on every load, so the common
 // nothing-to-drain probe must not rescan the buffer. Returns -1 for an
 // empty buffer.
+//
+//perple:hotpath cover=sim-synced-pso
 func (m *machine) nextDrain(th *simThread) int {
 	if th.buf.len() == 0 {
 		return -1
@@ -235,6 +248,8 @@ const drainNever = int64(1) << 61
 // restores it to the exact minimum head whenever it runs — so the
 // common nothing-to-drain probe (every load pays one) is a single
 // compare instead of a scan of all thread buffers.
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) applyDrains(upTo int64) {
 	if upTo < m.nextDrainAt {
 		return
@@ -273,6 +288,8 @@ func (m *machine) applyDrains(upTo int64) {
 }
 
 // settle drains every pending store regardless of time (end of run).
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) settle() {
 	const forever = int64(1) << 62
 	m.applyDrains(forever)
@@ -281,6 +298,8 @@ func (m *machine) settle() {
 // store enqueues a value with a monotone drain time — across the whole
 // buffer under TSO's single FIFO, per location under PSO — then advances
 // the thread clock.
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) store(th *simThread, memIdx int, val int64) {
 	drainAt := th.time + m.draw(&m.drainSpan)
 	if m.pso {
@@ -312,6 +331,8 @@ func (m *machine) store(th *simThread, memIdx int, val int64) {
 // store to the cell (forwarding) or shared memory, then advances the
 // clock. widx is the load's dense witness index (-1 outside synced
 // witness recording).
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) load(th *simThread, memIdx int, widx int32) int64 {
 	m.applyDrains(th.time)
 	v := int64(-1)
@@ -337,6 +358,8 @@ func (m *machine) load(th *simThread, memIdx int, widx int32) int64 {
 }
 
 // fence blocks the thread until its store buffer has fully drained.
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) fence(th *simThread) {
 	for i, n := 0, th.buf.len(); i < n; i++ {
 		if e := th.buf.at(i); e.drainAt > th.time {
@@ -354,6 +377,8 @@ func (m *machine) fence(th *simThread) {
 // has finished its body. Specialized from the old closure-driven
 // minTimeThread so the per-event scheduling probe is a direct inlinable
 // comparison.
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) minThreadInBody() *simThread {
 	var best *simThread
 	for _, th := range m.threads {
@@ -369,6 +394,8 @@ func (m *machine) minThreadInBody() *simThread {
 
 // minThreadBelowIter picks the smallest-clock thread with iterations
 // left to run; nil when every thread has completed n iterations.
+//
+//perple:hotpath cover=sim-synced-free
 func (m *machine) minThreadBelowIter(n int) *simThread {
 	var best *simThread
 	for _, th := range m.threads {
@@ -382,6 +409,7 @@ func (m *machine) minThreadBelowIter(n int) *simThread {
 	return best
 }
 
+//perple:hotpath cover=sim-synced-user
 func (m *machine) maxTime() int64 {
 	var max int64
 	for _, th := range m.threads {
@@ -396,6 +424,8 @@ func (m *machine) maxTime() int64 {
 
 // runBarriered executes iteration-by-iteration with a barrier release
 // before each.
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) runBarriered(n int, p modeParams, res *SyncedResult) {
 	// Mode-derived draw spans, fixed for the whole run.
 	costJitterSpan := makeDrawSpan(-p.barrierTicks/10, p.barrierTicks/10)
@@ -440,6 +470,8 @@ func (m *machine) runBarriered(n int, p modeParams, res *SyncedResult) {
 }
 
 // runFree executes all iterations continuously with no barriers.
+//
+//perple:hotpath cover=sim-synced-free
 func (m *machine) runFree(n int, p modeParams, res *SyncedResult) {
 	for _, th := range m.threads {
 		th.time = m.draw(&m.launchSpan)
@@ -465,6 +497,8 @@ func (m *machine) runFree(n int, p modeParams, res *SyncedResult) {
 }
 
 // step executes one bytecode instruction of a synced-mode thread.
+//
+//perple:hotpath cover=sim-synced-user
 func (m *machine) step(th *simThread, res *SyncedResult) {
 	w := th.prog.code[th.pc]
 	switch w & bcOpMask {

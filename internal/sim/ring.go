@@ -23,18 +23,28 @@ type storeBuf struct {
 	minOK  bool
 }
 
+//perple:hotpath cover=sim-synced-user
 func (b *storeBuf) len() int { return b.n }
 
 // at returns the live entry at logical index i (0 = oldest). Callers
 // must keep i < b.n; the returned pointer is invalidated by push.
+//
+//perple:hotpath cover=sim-synced-user
 func (b *storeBuf) at(i int) *bufEntry { return &b.e[(b.head+i)&(len(b.e)-1)] }
 
 // reset empties the buffer, keeping the backing array for reuse.
 func (b *storeBuf) reset() { b.head, b.n, b.minOK = 0, 0, false }
 
 // push appends a new youngest entry, growing the ring if full.
+//
+//perple:hotpath cover=sim-synced-user
 func (b *storeBuf) push(e bufEntry) {
 	if b.n == len(b.e) {
+		// The make inside grow is inlined here by the compiler (-escapes
+		// attributes it to this line). Growth is amortized warm-up only:
+		// reset keeps the backing array, so steady-state iteration never
+		// takes this branch — the allocs sweep proves 0 allocs/op.
+		//perple:allow hotalloc amortized ring growth; reset reuses the backing array
 		b.grow()
 	}
 	b.e[(b.head+b.n)&(len(b.e)-1)] = e
@@ -53,6 +63,8 @@ func (b *storeBuf) push(e bufEntry) {
 // minDrainIdx returns the logical index of the entry with the smallest
 // drainAt (earliest index on ties), recomputing the cache if a removal
 // invalidated it. Returns -1 for an empty buffer.
+//
+//perple:hotpath cover=sim-synced-pso
 func (b *storeBuf) minDrainIdx() int {
 	if b.n == 0 {
 		return -1
@@ -80,6 +92,8 @@ func (b *storeBuf) grow() {
 // removeAt removes and returns the live entry at logical index i,
 // preserving the order of the rest. Index 0 (the only case under TSO)
 // is an O(1) head bump; interior indices shift the shorter side.
+//
+//perple:hotpath cover=sim-synced-user
 func (b *storeBuf) removeAt(i int) bufEntry {
 	e := *b.at(i)
 	if b.minOK {

@@ -71,6 +71,8 @@ func (r *lfSource) seed(seed int64) {
 }
 
 // Uint64 is rngSource.Uint64: the next 64-bit feedback sum.
+//
+//perple:hotpath cover=sim-synced-user
 func (r *lfSource) Uint64() uint64 {
 	r.tap--
 	if r.tap < 0 {
@@ -86,12 +88,16 @@ func (r *lfSource) Uint64() uint64 {
 }
 
 // Int63 is rngSource.Int63: the next sum masked to 63 bits.
+//
+//perple:hotpath cover=sim-synced-user
 func (r *lfSource) Int63() int64 {
 	return int64(r.Uint64() & lfMask)
 }
 
 // Float64 replicates rand.(*Rand).Float64, including its
 // resample-on-1.0 quirk, drawing from this stream.
+//
+//perple:hotpath cover=sim-synced-user
 func (r *lfSource) Float64() float64 {
 	for {
 		f := float64(r.Int63()) / (1 << 63)
