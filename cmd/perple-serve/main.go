@@ -61,6 +61,9 @@ func run() error {
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for per-campaign checkpoint files (empty disables checkpointing)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "snapshot every n completed jobs (0: every job)")
 	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "dispatch lease TTL before an unheartbeated shard requeues")
+	walDir := flag.String("wal", "", "directory for per-campaign dispatch write-ahead logs (requires -checkpoint-dir; empty disables the durable dispatch plane)")
+	walSyncEvery := flag.Int("wal-sync-every", 0, "fsync the WAL every n records (group commit; 0 or 1: every record)")
+	compactEvery := flag.Int("compact-every", 0, "fold the WAL into a fresh checkpoint every n finished jobs (0: default 64)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
@@ -72,6 +75,17 @@ func run() error {
 			return err
 		}
 		srv.CheckpointDir = *checkpointDir
+	}
+	if *walDir != "" {
+		if *checkpointDir == "" {
+			return errors.New("-wal requires -checkpoint-dir (the log compacts into the checkpoint)")
+		}
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			return err
+		}
+		srv.WALDir = *walDir
+		srv.WALSyncEvery = *walSyncEvery
+		srv.CompactEvery = *compactEvery
 	}
 
 	handler := srv.Handler()

@@ -55,6 +55,7 @@ func run() error {
 	backoff := flag.Duration("backoff", 200*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
 	breakerFailures := flag.Int("breaker-failures", campaign.DefaultBreakerThreshold, "consecutive HTTP failures that open the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", campaign.DefaultBreakerCooldown, "how long an open circuit holds requests off")
+	recoveryWindow := flag.Duration("recovery-window", 0, "keep retrying transport errors and 5xx this long even past -retries, to ride out a server restart (0 disables)")
 	flag.Parse()
 
 	if *campaignID == "" {
@@ -73,6 +74,7 @@ func run() error {
 		BackoffBase:      *backoff,
 		BreakerThreshold: *breakerFailures,
 		BreakerCooldown:  *breakerCooldown,
+		RecoveryWindow:   *recoveryWindow,
 	})
 
 	ctx, cancel := context.WithCancel(context.Background())

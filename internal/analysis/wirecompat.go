@@ -44,13 +44,16 @@ type WirecompatConfig struct {
 }
 
 // DefaultWireRoots are the repo's serialization roots: the v2
-// checkpoint envelope and snapshot, every request/response of the
-// dispatch protocol (the JSON wire), and the harness result that owns
-// the PWB1 binary body layout. Everything transitively reachable
-// through their fields is part of the wire contract.
+// checkpoint envelope and snapshot (including the lease-ledger section
+// the durable dispatch plane compacts into), every request/response of
+// the dispatch protocol (the JSON wire), the WAL record whose PWB1 body
+// layout is frozen on disk, and the harness result that owns the upload
+// PWB1 body layout. Everything transitively reachable through their
+// fields is part of the wire contract.
 var DefaultWireRoots = []string{
 	"perple/internal/campaign.Checkpoint",
 	"perple/internal/campaign.checkpointEnvelope",
+	"perple/internal/campaign.walRecord",
 	"perple/internal/campaign.CorpusResponse",
 	"perple/internal/campaign.LeaseRequest",
 	"perple/internal/campaign.LeaseResponse",

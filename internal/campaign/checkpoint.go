@@ -41,6 +41,43 @@ type Checkpoint struct {
 	Version int          `json:"version"`
 	Spec    Spec         `json:"spec"`
 	Done    []*JobResult `json:"done"`
+	// Ledger, when present, is the dispatch lease ledger at save time —
+	// the compaction target the write-ahead log folds into. Absent for
+	// local runs and pre-WAL snapshots; a dispatcher restoring a snapshot
+	// without one falls back to re-leasing everything not done.
+	Ledger *LedgerSnapshot `json:"ledger,omitempty"`
+}
+
+// LedgerSnapshot is the lease ledger's full state inside a checkpoint:
+// every queue row, the grant-nonce high-water mark, and the nonce each
+// merged upload carried (what keeps duplicate-vs-fenced classification
+// exact across a restart). Rows cover jobs that entered the queue this
+// incarnation; jobs restored as done before the queue was built have no
+// row and need none.
+type LedgerSnapshot struct {
+	NextLease int64         `json:"next_lease"`
+	Cancelled bool          `json:"cancelled,omitempty"`
+	Rows      []LedgerRow   `json:"rows"`
+	Merged    []MergedLease `json:"merged,omitempty"`
+}
+
+// LedgerRow mirrors one queueEntry. State uses the leaseState values
+// (0 pending, 1 leased, 2 done); Expires is Unix nanoseconds.
+type LedgerRow struct {
+	JobID    int    `json:"job_id"`
+	State    int    `json:"state"`
+	LeaseID  int64  `json:"lease_id,omitempty"`
+	Worker   string `json:"worker,omitempty"`
+	Expires  int64  `json:"expires,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Failed   bool   `json:"failed,omitempty"`
+	FailErr  string `json:"fail_err,omitempty"`
+}
+
+// MergedLease records which lease nonce a merged job's upload carried.
+type MergedLease struct {
+	JobID   int   `json:"job_id"`
+	LeaseID int64 `json:"lease_id"`
 }
 
 // checkpointEnvelope is the version-2 file format: the compact-encoded
@@ -67,7 +104,14 @@ func SaveCheckpoint(path string, spec Spec, done map[int]*JobResult) error {
 // renames) only the rotated last-good copy, which LoadCheckpointFS
 // recovers. Done is stored sorted by job ID for stable diffs.
 func SaveCheckpointFS(fsys CheckpointFS, path string, spec Spec, done map[int]*JobResult) error {
-	cp := Checkpoint{Version: checkpointVersion, Spec: spec}
+	return SaveCheckpointLedgerFS(fsys, path, spec, done, nil)
+}
+
+// SaveCheckpointLedgerFS is SaveCheckpointFS carrying the dispatch
+// lease ledger — the WAL compaction path: the snapshot absorbs the
+// log's state so the log can be truncated.
+func SaveCheckpointLedgerFS(fsys CheckpointFS, path string, spec Spec, done map[int]*JobResult, ledger *LedgerSnapshot) error {
+	cp := Checkpoint{Version: checkpointVersion, Spec: spec, Ledger: ledger}
 	cp.Done = make([]*JobResult, 0, len(done))
 	for _, jr := range done {
 		cp.Done = append(cp.Done, jr)
@@ -134,33 +178,41 @@ func LoadCheckpoint(path string, spec Spec) (map[int]*JobResult, error) {
 // fallback is an error: silently restarting from scratch would hide
 // data loss from the operator.
 func LoadCheckpointFS(fsys CheckpointFS, path string, spec Spec) (done map[int]*JobResult, recovered bool, err error) {
-	done, err = loadCheckpointFile(fsys, path, spec)
+	done, _, recovered, err = LoadCheckpointLedgerFS(fsys, path, spec)
+	return done, recovered, err
+}
+
+// LoadCheckpointLedgerFS is LoadCheckpointFS that also returns the
+// dispatch lease ledger stored in the snapshot (nil for local-run and
+// pre-WAL snapshots).
+func LoadCheckpointLedgerFS(fsys CheckpointFS, path string, spec Spec) (done map[int]*JobResult, ledger *LedgerSnapshot, recovered bool, err error) {
+	done, ledger, err = loadCheckpointFile(fsys, path, spec)
 	if err == nil {
-		return done, false, nil
+		return done, ledger, false, nil
 	}
 	if !errors.Is(err, ErrCheckpointCorrupt) && !os.IsNotExist(err) {
 		// Spec mismatch, version from the future, duplicate jobs: the file
 		// is intact but wrong, and the rotated copy was written by the same
 		// campaign — falling back cannot help.
-		return nil, false, err
+		return nil, nil, false, err
 	}
-	prev, prevErr := loadCheckpointFile(fsys, path+checkpointPrevSuffix, spec)
+	prev, prevLedger, prevErr := loadCheckpointFile(fsys, path+checkpointPrevSuffix, spec)
 	if prevErr == nil {
-		return prev, true, nil
+		return prev, prevLedger, true, nil
 	}
 	// No usable fallback: surface the original failure (for a missing
 	// active file that is simply "fresh campaign", which callers detect
 	// with os.IsNotExist).
-	return nil, false, err
+	return nil, nil, false, err
 }
 
 // loadCheckpointFile reads one snapshot file, verifying the CRC for
 // version-2 envelopes and accepting bare version-1 snapshots for
 // migration.
-func loadCheckpointFile(fsys CheckpointFS, path string, spec Spec) (map[int]*JobResult, error) {
+func loadCheckpointFile(fsys CheckpointFS, path string, spec Spec) (map[int]*JobResult, *LedgerSnapshot, error) {
 	data, err := fsys.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var cp Checkpoint
 	var env checkpointEnvelope
@@ -168,29 +220,29 @@ func loadCheckpointFile(fsys CheckpointFS, path string, spec Spec) (map[int]*Job
 	case json.Unmarshal(data, &env) == nil && env.Version == checkpointVersion && len(env.Payload) > 0:
 		var compact bytes.Buffer
 		if err := json.Compact(&compact, env.Payload); err != nil {
-			return nil, fmt.Errorf("campaign: checkpoint %s payload: %v: %w", path, err, ErrCheckpointCorrupt)
+			return nil, nil, fmt.Errorf("campaign: checkpoint %s payload: %v: %w", path, err, ErrCheckpointCorrupt)
 		}
 		if got := crc32.ChecksumIEEE(compact.Bytes()); got != env.CRC32 {
-			return nil, fmt.Errorf("campaign: checkpoint %s CRC mismatch (%08x on disk, %08x computed): %w",
+			return nil, nil, fmt.Errorf("campaign: checkpoint %s CRC mismatch (%08x on disk, %08x computed): %w",
 				path, env.CRC32, got, ErrCheckpointCorrupt)
 		}
 		if err := json.Unmarshal(env.Payload, &cp); err != nil {
-			return nil, fmt.Errorf("campaign: checkpoint %s payload: %v: %w", path, err, ErrCheckpointCorrupt)
+			return nil, nil, fmt.Errorf("campaign: checkpoint %s payload: %v: %w", path, err, ErrCheckpointCorrupt)
 		}
 	case json.Unmarshal(data, &cp) == nil && cp.Version == 1:
 		// Legacy (pre-CRC) snapshot: accepted as-is for migration; the
 		// next save rewrites it in envelope form.
 	default:
 		if json.Unmarshal(data, &env) == nil && env.Version > checkpointVersion {
-			return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want ≤ %d", path, env.Version, checkpointVersion)
+			return nil, nil, fmt.Errorf("campaign: checkpoint %s has version %d, want ≤ %d", path, env.Version, checkpointVersion)
 		}
-		return nil, fmt.Errorf("campaign: checkpoint %s is not a decodable snapshot: %w", path, ErrCheckpointCorrupt)
+		return nil, nil, fmt.Errorf("campaign: checkpoint %s is not a decodable snapshot: %w", path, ErrCheckpointCorrupt)
 	}
 	if err := cp.Spec.Validate(); err != nil {
-		return nil, fmt.Errorf("campaign: checkpoint %s spec: %w", path, err)
+		return nil, nil, fmt.Errorf("campaign: checkpoint %s spec: %w", path, err)
 	}
 	if !reflect.DeepEqual(normalizeSpec(cp.Spec), normalizeSpec(spec)) {
-		return nil, fmt.Errorf("campaign: checkpoint %s was written by a different spec", path)
+		return nil, nil, fmt.Errorf("campaign: checkpoint %s was written by a different spec", path)
 	}
 	done := make(map[int]*JobResult, len(cp.Done))
 	for _, jr := range cp.Done {
@@ -198,11 +250,11 @@ func loadCheckpointFile(fsys CheckpointFS, path string, spec Spec) (map[int]*Job
 			continue
 		}
 		if _, dup := done[jr.JobID]; dup {
-			return nil, fmt.Errorf("campaign: checkpoint %s lists job %d twice", path, jr.JobID)
+			return nil, nil, fmt.Errorf("campaign: checkpoint %s lists job %d twice", path, jr.JobID)
 		}
 		done[jr.JobID] = jr
 	}
-	return done, nil
+	return done, cp.Ledger, nil
 }
 
 // normalizeSpec strips fields that do not influence the job list or its

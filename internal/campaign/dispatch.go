@@ -23,11 +23,16 @@ const DefaultLeaseTTL = 60 * time.Second
 // same spec, whatever the interleaving of leases, expiries, and
 // uploads.
 //
-// Leases are in-memory only; the checkpoint persists completed results
-// exactly as the local scheduler does. A dispatcher rebuilt after a
-// server restart therefore restores the done set and re-leases
-// everything that was in flight — at-least-once delivery, made safe by
-// the completion fence and per-shard determinism.
+// Without a WAL, leases are in-memory only; the checkpoint persists
+// completed results exactly as the local scheduler does, and a
+// dispatcher rebuilt after a server restart restores the done set and
+// re-leases everything that was in flight — at-least-once delivery,
+// made safe by the completion fence and per-shard determinism. With
+// Options.WALPath set, the durable dispatch plane (wal.go) logs every
+// ledger transition, and a restart replays snapshot + log suffix to
+// reconstruct the exact ledger — live leases, retry budgets, and the
+// merged-lease nonces that keep duplicate-vs-fenced classification
+// precise — instead of forgetting it.
 type Dispatcher struct {
 	camp   *Campaign
 	opts   Options
@@ -40,14 +45,25 @@ type Dispatcher struct {
 
 	mu            sync.Mutex
 	q             *leaseQueue
+	wal           *wal // nil without Options.WALPath
 	results       *Results
 	done          map[int]*JobResult
 	mergedLease   map[int]int64 // job ID → lease nonce its merged upload carried
 	sinceSave     int
+	sinceCompact  int // merges + dead letters since the last WAL compaction
+	compactEvery  int
 	checkpointErr error // final-save failure; transient mid-run errors only count in metrics
 	finished      bool
 	cancelled     bool
 	finishCh      chan struct{}
+
+	// killed simulates kill -9 for the chaos suite: every subsequent
+	// checkpoint save and WAL append becomes a no-op while the in-memory
+	// dispatcher keeps acknowledging — strictly more adversarial than a
+	// real crash, which at least stops acking too. Reached only through
+	// killHook, which tests install at adversarial junctures.
+	killed   bool
+	killHook func(point string) bool
 }
 
 // NewDispatcher validates and restores like Campaign.Run — checkpointed
@@ -69,13 +85,22 @@ func NewDispatcher(camp *Campaign, ttl time.Duration, opts Options) (*Dispatcher
 	if opts.CheckpointFS == nil {
 		opts.CheckpointFS = osCheckpointFS{}
 	}
+	if opts.WALPath != "" && opts.CheckpointPath == "" {
+		return nil, fmt.Errorf("campaign: WALPath requires CheckpointPath (the log compacts into the checkpoint)")
+	}
+	compactEvery := opts.CompactEvery
+	if compactEvery <= 0 {
+		compactEvery = 64
+	}
 
 	done := map[int]*JobResult{}
+	var ledger *LedgerSnapshot
 	if opts.CheckpointPath != "" {
-		restored, recovered, err := LoadCheckpointFS(opts.CheckpointFS, opts.CheckpointPath, camp.Spec)
+		restored, lg, recovered, err := LoadCheckpointLedgerFS(opts.CheckpointFS, opts.CheckpointPath, camp.Spec)
 		switch {
 		case err == nil:
 			done = restored
+			ledger = lg
 			if recovered {
 				metrics.CheckpointRecoveries.Add(1)
 			}
@@ -99,34 +124,168 @@ func NewDispatcher(camp *Campaign, ttl time.Duration, opts Options) (*Dispatcher
 		results.Add(done[id])
 	}
 
-	var pending []Job
-	for _, job := range camp.jobs {
-		if _, ok := done[job.ID]; !ok {
-			pending = append(pending, job)
-		}
-	}
-
 	d := &Dispatcher{
-		camp:        camp,
-		opts:        opts,
-		ttl:         ttl,
-		every:       every,
-		now:         time.Now,
-		corpus:      buildCorpus(camp),
-		metrics:     metrics,
-		q:           newLeaseQueue(pending, ttl, camp.Spec.MaxRetries, time.Now),
-		results:     results,
-		done:        done,
-		mergedLease: map[int]int64{},
-		finishCh:    make(chan struct{}),
+		camp:         camp,
+		opts:         opts,
+		ttl:          ttl,
+		every:        every,
+		compactEvery: compactEvery,
+		now:          time.Now,
+		corpus:       buildCorpus(camp),
+		metrics:      metrics,
+		results:      results,
+		done:         done,
+		mergedLease:  map[int]int64{},
+		finishCh:     make(chan struct{}),
+	}
+	if opts.WALPath == "" {
+		var pending []Job
+		for _, job := range camp.jobs {
+			if _, ok := done[job.ID]; !ok {
+				pending = append(pending, job)
+			}
+		}
+		d.q = newLeaseQueue(pending, ttl, camp.Spec.MaxRetries, time.Now)
+	} else if err := d.recoverDurable(ledger); err != nil {
+		return nil, err
 	}
 	metrics.JobsTotal.Store(int64(len(camp.jobs)))
 	metrics.JobsRestored.Store(int64(len(done)))
-	metrics.QueueDepth.Store(int64(len(pending)))
-	if len(pending) == 0 {
+	pendingN, leasedN, _, _ := d.q.counts()
+	metrics.QueueDepth.Store(int64(pendingN))
+	metrics.InFlight.Store(int64(leasedN))
+	if d.cancelled || d.q.allDone() {
 		d.finish()
 	}
 	return d, nil
+}
+
+// recoverDurable rebuilds the exact lease ledger from the checkpoint's
+// ledger section plus the WAL suffix, then leaves the log ready for
+// appends (startup compaction: fold the recovered state into a fresh
+// snapshot and truncate the log). Runs from the constructor, before any
+// concurrency.
+func (d *Dispatcher) recoverDurable(ledger *LedgerSnapshot) error {
+	fsys := walFSFor(d.opts.CheckpointFS)
+	crc := specWALCRC(d.camp.Spec)
+
+	// Queue rows come from the snapshot's ledger; jobs covered by
+	// neither a row nor the done set (fresh campaign, or a pre-WAL
+	// snapshot without a ledger section) enter as synthetic pending
+	// rows. Jobs done without a row were restored before ever entering a
+	// queue and need none.
+	var rows []LedgerRow
+	var nextLease int64
+	if ledger != nil {
+		rows = ledger.Rows
+		nextLease = ledger.NextLease
+		d.cancelled = d.cancelled || ledger.Cancelled
+		for _, m := range ledger.Merged {
+			d.mergedLease[m.JobID] = m.LeaseID
+		}
+	}
+	covered := make(map[int]bool, len(rows))
+	for _, row := range rows {
+		covered[row.JobID] = true
+	}
+	for _, job := range d.camp.jobs {
+		if covered[job.ID] {
+			continue
+		}
+		if _, ok := d.done[job.ID]; ok {
+			continue
+		}
+		rows = append(rows, LedgerRow{JobID: job.ID, State: int(statePending)})
+	}
+	d.q = newLeaseQueueFromRows(d.camp.jobs, rows, d.ttl, d.camp.Spec.MaxRetries, nextLease, time.Now)
+
+	// Re-impose the snapshot's terminal rows on the totals: dead letters
+	// rejoin the failure record, and a done row whose result is missing
+	// from the snapshot (an inconsistency no correct writer produces) is
+	// defensively downgraded to pending — re-running a deterministic
+	// shard is always safe, silently losing it from the totals is not.
+	for _, id := range d.q.ids {
+		e := d.q.entries[id]
+		if e.state != stateDone {
+			continue
+		}
+		if e.failed {
+			d.recordFailureLocked(e)
+		} else if _, ok := d.done[id]; !ok {
+			e.state = statePending
+			d.q.requeue(id)
+		}
+	}
+
+	rep, err := replayWAL(fsys, d.opts.WALPath, crc)
+	if err != nil {
+		return err
+	}
+	if rep.existed {
+		d.metrics.WALReplays.Add(1)
+	}
+	if rep.truncated > 0 {
+		d.metrics.WALTruncatedRecords.Add(int64(rep.truncated))
+	}
+	for i := range rep.recs {
+		d.applyWALRecord(&rep.recs[i])
+	}
+
+	d.wal = newWAL(fsys, d.opts.WALPath, d.opts.WALSyncEvery, crc, d.metrics)
+	if d.compactLocked() == nil {
+		return nil
+	}
+	// The startup compaction could not persist a fresh snapshot. Keep
+	// the existing history appendable instead: clear a torn tail by
+	// reinstalling the valid prefix, or attach to the intact file; with
+	// no usable history, start a begin-only segment. Failures here leave
+	// the log degraded until a later compaction succeeds — the campaign
+	// runs either way.
+	switch {
+	case rep.truncated > 0 && len(rep.recs) > 0:
+		_ = d.wal.installSegment(rep.prefix)
+	case rep.truncated == 0 && len(rep.recs) > 0:
+		_ = d.wal.openExisting()
+	default:
+		_ = d.wal.rotate()
+	}
+	return nil
+}
+
+// applyWALRecord replays one logged transition over the restored
+// ledger. Application is defensive and idempotent-by-absoluteness:
+// every record states the row's resulting state, so a stale suffix
+// (records the snapshot already absorbed, left by a crash between
+// checkpoint save and log truncation) converges to the same final
+// ledger — the last record per job wins, and terminal rows are never
+// reopened or double-counted.
+func (d *Dispatcher) applyWALRecord(rec *walRecord) {
+	switch rec.Kind {
+	case walKindGrant:
+		d.q.applyGrant(rec.JobID, rec.LeaseID, rec.Worker, time.Unix(0, rec.Expires))
+	case walKindExtend:
+		d.q.applyExtend(rec.JobID, rec.LeaseID, time.Unix(0, rec.Expires))
+	case walKindComplete:
+		if rec.Result == nil || !d.resultMatchesJob(rec.Result) {
+			return
+		}
+		if _, dup := d.done[rec.Result.JobID]; dup {
+			return
+		}
+		if accepted, _ := d.q.complete(LeaseRef{JobID: rec.Result.JobID, LeaseID: rec.LeaseID}); accepted {
+			d.mergedLease[rec.Result.JobID] = rec.LeaseID
+			d.results.Add(rec.Result)
+			d.done[rec.Result.JobID] = rec.Result
+		}
+	case walKindRequeue:
+		d.q.applyRequeue(rec.JobID, rec.Attempts, rec.Err)
+	case walKindDeadLetter:
+		if e, ok := d.q.applyDeadLetter(rec.JobID, rec.Attempts, rec.Err); ok {
+			d.recordFailureLocked(e)
+		}
+	case walKindCancel:
+		d.cancelled = true
+	}
 }
 
 // buildCorpus renders every campaign test back to parseable litmus
@@ -189,37 +348,159 @@ func (d *Dispatcher) Cancel() {
 		return
 	}
 	d.cancelled = true
+	if d.wal != nil {
+		d.wal.append(&walRecord{Kind: walKindCancel, SpecCRC: d.wal.specCRC})
+	}
 	d.finish()
 }
 
 // finish closes the run. Caller holds d.mu (or is the constructor).
+// With a WAL, the closing durability step is: flush the log (so even a
+// failed final save leaves a replayable record of every merge), save
+// the checkpoint with the final ledger, and — only if the save landed —
+// truncate the log back to a begin record. Only the final save's
+// failure surfaces in Outcome; see flushCheckpointLocked for why
+// mid-run save errors stay transient.
 func (d *Dispatcher) finish() {
 	if d.finished {
 		return
 	}
 	d.finished = true
-	if d.opts.CheckpointPath != "" && d.sinceSave > 0 {
-		d.checkpointErr = saveCheckpointRetry(d.opts.CheckpointFS, d.opts.CheckpointPath, d.camp.Spec, d.done, d.metrics)
+	if d.opts.CheckpointPath != "" && !d.killed {
+		if d.wal != nil {
+			d.wal.syncNow()
+			d.checkpointErr = saveCheckpointLedgerRetry(d.opts.CheckpointFS, d.opts.CheckpointPath, d.camp.Spec, d.done, d.ledgerSnapshotLocked(), d.metrics)
+			if d.checkpointErr == nil {
+				_ = d.wal.rotate()
+			}
+			d.wal.close()
+		} else if d.sinceSave > 0 {
+			d.checkpointErr = saveCheckpointRetry(d.opts.CheckpointFS, d.opts.CheckpointPath, d.camp.Spec, d.done, d.metrics)
+		}
 	}
 	close(d.finishCh)
+}
+
+// ledgerSnapshotLocked captures the full lease ledger for a
+// checkpoint's ledger section. Caller holds d.mu.
+func (d *Dispatcher) ledgerSnapshotLocked() *LedgerSnapshot {
+	merged := make([]MergedLease, 0, len(d.mergedLease))
+	for id, nonce := range d.mergedLease {
+		merged = append(merged, MergedLease{JobID: id, LeaseID: nonce})
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].JobID < merged[j].JobID })
+	return &LedgerSnapshot{
+		NextLease: d.q.nextLease,
+		Cancelled: d.cancelled,
+		Rows:      d.q.ledgerRows(),
+		Merged:    merged,
+	}
+}
+
+// compactLocked folds the current state into a fresh checkpoint and, on
+// success, truncates the WAL to a begin-only segment. Ordering is the
+// safety argument: the snapshot persists before any log bytes are
+// discarded, so a crash at any point leaves either (old snapshot +
+// full log) or (new snapshot + stale-but-convergent log) — never a
+// state with merges recorded nowhere. A failed save keeps the log
+// intact and counts a transient checkpoint error. Caller holds d.mu.
+func (d *Dispatcher) compactLocked() error {
+	if d.killed {
+		return nil
+	}
+	if err := SaveCheckpointLedgerFS(d.opts.CheckpointFS, d.opts.CheckpointPath, d.camp.Spec, d.done, d.ledgerSnapshotLocked()); err != nil {
+		d.metrics.CheckpointErrors.Add(1)
+		return err
+	}
+	d.sinceSave = 0
+	d.sinceCompact = 0
+	if d.killHook != nil && d.killHook("mid-compact") {
+		d.disarmLocked()
+		return nil
+	}
+	// Rotation failure is harmless mid-run: the old segment stays the
+	// append target (or the log degrades until the next compaction), and
+	// its pre-snapshot records replay defensively.
+	_ = d.wal.rotate()
+	return nil
+}
+
+// disarmLocked flips the dispatcher into the simulated-crashed state:
+// no further checkpoint or WAL bytes reach disk. Caller holds d.mu.
+func (d *Dispatcher) disarmLocked() {
+	d.killed = true
+	if d.wal != nil {
+		d.wal.disarm()
+	}
+}
+
+// walExtendLocked logs the extension of a live lease at its new
+// absolute expiry. Caller holds d.mu and has already applied the
+// heartbeat to the queue.
+func (d *Dispatcher) walExtendLocked(ref LeaseRef) {
+	if d.wal == nil {
+		return
+	}
+	e, ok := d.q.entries[ref.JobID]
+	if !ok || e.state != stateLeased || e.leaseID != ref.LeaseID {
+		return
+	}
+	d.wal.append(&walRecord{
+		Kind:    walKindExtend,
+		SpecCRC: d.wal.specCRC,
+		JobID:   ref.JobID,
+		LeaseID: ref.LeaseID,
+		Expires: e.expires.UnixNano(),
+	})
 }
 
 // sweepLocked requeues expired leases and records exhausted budgets.
 // Caller holds d.mu.
 func (d *Dispatcher) sweepLocked() {
 	requeued, failed := d.q.sweep()
-	for range requeued {
+	for _, e := range requeued {
 		d.metrics.LeaseRequeues.Add(1)
 		d.metrics.Retries.Add(1)
 		d.metrics.QueueDepth.Add(1)
 		d.metrics.InFlight.Add(-1)
+		d.walRequeueLocked(e)
 	}
 	for _, e := range failed {
 		d.metrics.LeaseRequeues.Add(1)
 		d.metrics.InFlight.Add(-1)
+		d.walDeadLetterLocked(e)
 		d.recordFailureLocked(e)
 	}
 	d.maybeFinishLocked()
+}
+
+// walRequeueLocked logs a return to pending with the row's absolute
+// budget consumption. Caller holds d.mu.
+func (d *Dispatcher) walRequeueLocked(e *queueEntry) {
+	if d.wal == nil {
+		return
+	}
+	d.wal.append(&walRecord{
+		Kind:     walKindRequeue,
+		SpecCRC:  d.wal.specCRC,
+		JobID:    e.job.ID,
+		Attempts: e.attempts,
+		Err:      e.failErr,
+	})
+}
+
+// walDeadLetterLocked logs a budget exhaustion. Caller holds d.mu.
+func (d *Dispatcher) walDeadLetterLocked(e *queueEntry) {
+	if d.wal == nil {
+		return
+	}
+	d.wal.append(&walRecord{
+		Kind:     walKindDeadLetter,
+		SpecCRC:  d.wal.specCRC,
+		JobID:    e.job.ID,
+		Attempts: e.attempts,
+		Err:      e.failErr,
+	})
 }
 
 // recordFailureLocked converts an exhausted queue entry into a
@@ -229,6 +510,7 @@ func (d *Dispatcher) sweepLocked() {
 // bare failed count. Caller holds d.mu.
 func (d *Dispatcher) recordFailureLocked(e *queueEntry) {
 	d.metrics.JobsFailed.Add(1)
+	d.sinceCompact++
 	f := JobFailure{
 		JobID:    e.job.ID,
 		Test:     e.job.Test,
@@ -267,6 +549,26 @@ func (d *Dispatcher) Lease(req LeaseRequest) LeaseResponse {
 		return resp
 	}
 	granted := d.q.lease(req.Worker, req.Max)
+	if len(granted) > 0 {
+		if d.killHook != nil && d.killHook("mid-grant") {
+			// Simulated crash between deciding the grants and logging them:
+			// the worker receives leases the restarted dispatcher never heard
+			// of — its uploads must still merge exactly once.
+			d.disarmLocked()
+		}
+		for _, e := range granted {
+			if d.wal != nil {
+				d.wal.append(&walRecord{
+					Kind:    walKindGrant,
+					SpecCRC: d.wal.specCRC,
+					JobID:   e.job.ID,
+					LeaseID: e.leaseID,
+					Worker:  req.Worker,
+					Expires: e.expires.UnixNano(),
+				})
+			}
+		}
+	}
 	if len(granted) == 0 {
 		// Everything left is leased to other workers: poll again soon —
 		// an expiry may free work, or the campaign may finish. Capped at a
@@ -297,6 +599,7 @@ func (d *Dispatcher) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
 		if d.q.heartbeat(req.Worker, ref) {
 			resp.Extended++
 			d.metrics.Heartbeats.Add(1)
+			d.walExtendLocked(ref)
 		}
 	}
 	return resp
@@ -343,6 +646,22 @@ func (d *Dispatcher) Complete(req CompleteRequest, payloadBytes int) CompleteRes
 			d.mergedLease[wr.Result.JobID] = wr.LeaseID
 			d.mergeLocked(wr.Result, wasLeased)
 			resp.Merged++
+			if d.killHook != nil && d.killHook("pre-wal-complete") {
+				// Simulated crash after the in-memory merge but before the
+				// completion hits the log: the restarted dispatcher re-leases
+				// the job, and determinism makes the re-run's upload
+				// byte-identical to the merge that was lost.
+				d.disarmLocked()
+			}
+			if d.wal != nil {
+				d.wal.append(&walRecord{
+					Kind:    walKindComplete,
+					SpecCRC: d.wal.specCRC,
+					JobID:   wr.Result.JobID,
+					LeaseID: wr.LeaseID,
+					Result:  wr.Result,
+				})
+			}
 		case fenced:
 			d.metrics.ResultsFenced.Add(1)
 			resp.Fenced++
@@ -358,10 +677,14 @@ func (d *Dispatcher) Complete(req CompleteRequest, payloadBytes int) CompleteRes
 			d.metrics.LeaseRequeues.Add(1)
 			d.metrics.QueueDepth.Add(1)
 			d.metrics.InFlight.Add(-1)
+			if e, ok := d.q.entries[wf.JobID]; ok {
+				d.walRequeueLocked(e)
+			}
 			resp.Requeued++
 		case failed:
 			d.metrics.InFlight.Add(-1)
 			if e, ok := d.q.entries[wf.JobID]; ok {
+				d.walDeadLetterLocked(e)
 				d.recordFailureLocked(e)
 			}
 			resp.Failed++
@@ -371,6 +694,9 @@ func (d *Dispatcher) Complete(req CompleteRequest, payloadBytes int) CompleteRes
 		if d.q.release(req.Worker, ref) {
 			d.metrics.QueueDepth.Add(1)
 			d.metrics.InFlight.Add(-1)
+			if e, ok := d.q.entries[ref.JobID]; ok {
+				d.walRequeueLocked(e)
+			}
 			resp.Requeued++
 		}
 	}
@@ -380,9 +706,16 @@ func (d *Dispatcher) Complete(req CompleteRequest, payloadBytes int) CompleteRes
 		if d.q.heartbeat(req.Worker, ref) {
 			resp.Extended++
 			d.metrics.Heartbeats.Add(1)
+			d.walExtendLocked(ref)
 		}
 	}
-	d.flushCheckpointLocked()
+	if d.wal != nil {
+		if d.sinceCompact >= d.compactEvery {
+			_ = d.compactLocked()
+		}
+	} else {
+		d.flushCheckpointLocked()
+	}
 	d.maybeFinishLocked()
 	resp.Done = d.finished
 	return resp
@@ -413,6 +746,7 @@ func (d *Dispatcher) mergeLocked(jr *JobResult, wasLeased bool) {
 	d.results.Add(jr)
 	d.done[jr.JobID] = jr
 	d.sinceSave++
+	d.sinceCompact++
 	d.metrics.JobsCompleted.Add(1)
 	d.metrics.Iterations.Add(int64(jr.N))
 	// TraceVerifyNs is json:"-" so it arrives zero from remote workers:
@@ -438,7 +772,7 @@ func (d *Dispatcher) mergeLocked(jr *JobResult, wasLeased bool) {
 // valid (stale) resume point. Only a failure of the closing save — see
 // finish — surfaces in Outcome. Caller holds d.mu.
 func (d *Dispatcher) flushCheckpointLocked() {
-	if d.opts.CheckpointPath == "" || d.sinceSave < d.every {
+	if d.opts.CheckpointPath == "" || d.sinceSave < d.every || d.killed {
 		return
 	}
 	if err := SaveCheckpointFS(d.opts.CheckpointFS, d.opts.CheckpointPath, d.camp.Spec, d.done); err != nil {
@@ -457,6 +791,22 @@ func (d *Dispatcher) Status() (pending, leased, done, failed int) {
 	pending, leased, _, failed = d.q.counts()
 	done = len(d.done) + failed
 	return pending, leased, done, failed
+}
+
+// LeaseGauges reports the autoscaling signals for the metrics endpoint:
+// how many leases are live and how long the oldest has been out. A
+// growing oldest-lease age with steady queue depth means a worker is
+// stuck or the TTL is too generous.
+func (d *Dispatcher) LeaseGauges() (active int, oldestAge time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, leased, _, _ := d.q.counts()
+	if t, ok := d.q.oldestLeaseGrant(); ok {
+		if age := d.now().Sub(t); age > 0 {
+			oldestAge = age
+		}
+	}
+	return leased, oldestAge
 }
 
 // String identifies the dispatcher in logs.

@@ -31,6 +31,36 @@ type CheckpointFS interface {
 	SyncDir(dir string) error
 }
 
+// WALFile is the handle the write-ahead log appends through. Append
+// ordering is the caller's (the dispatcher serializes appends under its
+// mutex); Sync is the group-commit point that makes everything appended
+// so far durable.
+type WALFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// WALFS extends CheckpointFS with the append surface the write-ahead
+// log needs. The dispatcher type-asserts its CheckpointFS to WALFS and
+// falls back to the real filesystem, so a chaos filesystem that
+// implements OpenAppend gets its partial-append faults aimed at the WAL
+// while checkpoint I/O keeps flowing through the same injector.
+type WALFS interface {
+	CheckpointFS
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (WALFile, error)
+}
+
+// walFSFor picks the append-capable filesystem matching fsys: fsys
+// itself when it implements WALFS, the real filesystem otherwise.
+func walFSFor(fsys CheckpointFS) WALFS {
+	if wfs, ok := fsys.(WALFS); ok {
+		return wfs
+	}
+	return osCheckpointFS{}
+}
+
 // osCheckpointFS is the production CheckpointFS: the real filesystem.
 type osCheckpointFS struct{}
 
@@ -40,6 +70,10 @@ func (osCheckpointFS) CreateTemp(dir, pattern string) (CheckpointFile, error) {
 		return nil, err
 	}
 	return f, nil
+}
+
+func (osCheckpointFS) OpenAppend(name string) (WALFile, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
 }
 
 func (osCheckpointFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }

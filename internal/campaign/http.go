@@ -134,6 +134,20 @@ type Server struct {
 	// DefaultLeaseTTL.
 	LeaseTTL time.Duration
 
+	// WALDir, when non-empty, gives every dispatch-mode campaign a
+	// write-ahead log (<id>.wal under it) so a server restart
+	// reconstructs the exact lease ledger instead of re-leasing
+	// everything in flight. Requires CheckpointDir.
+	WALDir string
+
+	// WALSyncEvery batches WAL fsyncs to every n records (group commit);
+	// 0 or 1 fsyncs every record.
+	WALSyncEvery int
+
+	// CompactEvery folds the WAL into a fresh checkpoint every n
+	// terminal job transitions; 0 selects the dispatcher default.
+	CompactEvery int
+
 	mu   sync.Mutex
 	runs map[string]*serverRun
 	seq  int
@@ -244,6 +258,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 
 	var agg Snapshot
 	var running int
+	// Autoscaling gauges are computed at scrape time from the live lease
+	// ledgers: how many leases are out across dispatch runs and how long
+	// the oldest has been held. Queue depth (below, from the snapshot)
+	// plus these two is what a fleet autoscaler needs — depth says add
+	// workers, a growing oldest-lease age says one is stuck.
+	var leasesActive int
+	var oldestAge time.Duration
 	for _, r := range runs {
 		agg.Merge(r.metrics.Snapshot())
 		r.mu.Lock()
@@ -251,17 +272,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 			running++
 		}
 		r.mu.Unlock()
+		if r.dispatcher != nil {
+			active, age := r.dispatcher.LeaseGauges()
+			leasesActive += active
+			if age > oldestAge {
+				oldestAge = age
+			}
+		}
 	}
 	if wantsPrometheus(req) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writePrometheus(w, len(runs), running, time.Since(s.started).Seconds(), agg)
+		writePrometheus(w, len(runs), running, time.Since(s.started).Seconds(), leasesActive, oldestAge.Seconds(), agg)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"campaigns":         len(runs),
-		"campaigns_running": running,
-		"uptime_sec":        time.Since(s.started).Seconds(),
-		"scheduler":         agg,
+		"campaigns":            len(runs),
+		"campaigns_running":    running,
+		"uptime_sec":           time.Since(s.started).Seconds(),
+		"leases_active":        leasesActive,
+		"oldest_lease_age_sec": oldestAge.Seconds(),
+		"scheduler":            agg,
 	})
 }
 
@@ -281,7 +311,7 @@ func wantsPrometheus(req *http.Request) bool {
 // writePrometheus renders the aggregate snapshot in Prometheus text
 // exposition format, one family per scheduler gauge plus the dispatch
 // counters (leases, requeues, heartbeats, fence drops, upload bytes).
-func writePrometheus(w io.Writer, campaigns, running int, uptimeSec float64, agg Snapshot) {
+func writePrometheus(w io.Writer, campaigns, running int, uptimeSec float64, leasesActive int, oldestLeaseAgeSec float64, agg Snapshot) {
 	type metric struct {
 		name, typ, help string
 		value           float64
@@ -296,6 +326,8 @@ func writePrometheus(w io.Writer, campaigns, running int, uptimeSec float64, agg
 		{"perple_jobs_failed_total", "counter", "Jobs whose retry budget ran out.", float64(agg.JobsFailed)},
 		{"perple_retries_total", "counter", "Failed attempts re-queued.", float64(agg.Retries)},
 		{"perple_queue_depth", "gauge", "Jobs waiting for a worker or lease.", float64(agg.QueueDepth)},
+		{"perple_leases_active", "gauge", "Leases currently held by fleet workers.", float64(leasesActive)},
+		{"perple_oldest_lease_age_seconds", "gauge", "Age of the longest-held live lease.", oldestLeaseAgeSec},
 		{"perple_jobs_in_flight", "gauge", "Jobs executing or leased.", float64(agg.InFlight)},
 		{"perple_iterations_total", "counter", "Simulated test iterations completed.", float64(agg.Iterations)},
 		{"perple_traces_verified_total", "counter", "Witness traces checked against the memory model.", float64(agg.TracesVerified)},
@@ -313,6 +345,11 @@ func writePrometheus(w io.Writer, campaigns, running int, uptimeSec float64, agg
 		{"perple_wire_decode_ns_total", "counter", "Host nanoseconds decoding result uploads.", float64(agg.WireDecodeNs)},
 		{"perple_checkpoint_errors_total", "counter", "Snapshot writes that failed and were retried.", float64(agg.CheckpointErrors)},
 		{"perple_checkpoint_recoveries_total", "counter", "Resumes recovered from the rotated last-good snapshot.", float64(agg.CheckpointRecoveries)},
+		{"perple_wal_appends_total", "counter", "Lease-ledger transitions appended to write-ahead logs.", float64(agg.WALAppends)},
+		{"perple_wal_append_errors_total", "counter", "WAL appends that failed and degraded the log.", float64(agg.WALAppendErrors)},
+		{"perple_wal_fsync_ns_total", "counter", "Host nanoseconds spent fsyncing write-ahead logs.", float64(agg.WALFsyncNs)},
+		{"perple_wal_replays_total", "counter", "Dispatcher recoveries that replayed a write-ahead log.", float64(agg.WALReplays)},
+		{"perple_wal_truncated_records_total", "counter", "Torn tail records dropped during WAL replay.", float64(agg.WALTruncatedRecords)},
 		{"perple_allocs_total", "counter", "Heap allocations since metrics start (process-wide).", float64(agg.Allocs)},
 	}
 	for _, m := range metrics {
@@ -384,6 +421,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	}
 
 	if mode == "dispatch" {
+		if s.WALDir != "" && s.CheckpointDir != "" {
+			opts.WALPath = filepath.Join(s.WALDir, id+".wal")
+			opts.WALSyncEvery = s.WALSyncEvery
+			opts.CompactEvery = s.CompactEvery
+		}
 		disp, err := NewDispatcher(camp, s.LeaseTTL, opts)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)

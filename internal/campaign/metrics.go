@@ -90,6 +90,22 @@ type Metrics struct {
 	// last-good snapshot because the active one was corrupt or missing.
 	CheckpointRecoveries atomic.Int64
 
+	// Write-ahead-log counters (durable dispatch plane; wal.go).
+
+	// WALAppends counts ledger transition records appended to the log.
+	WALAppends atomic.Int64
+	// WALAppendErrors counts appends or fsyncs that failed and degraded
+	// the log until the next compaction installed a fresh segment.
+	WALAppendErrors atomic.Int64
+	// WALFsyncNs is host nanoseconds spent in WAL group-commit fsyncs.
+	WALFsyncNs atomic.Int64
+	// WALReplays counts dispatcher startups that replayed an existing
+	// log.
+	WALReplays atomic.Int64
+	// WALTruncatedRecords counts torn tail records dropped during
+	// replay (a crash or partial-append fault mid-record).
+	WALTruncatedRecords atomic.Int64
+
 	startOnce    sync.Once
 	startNano    atomic.Int64
 	startMallocs atomic.Uint64
@@ -204,6 +220,11 @@ type Snapshot struct {
 	WireBatch            BatchHistSnapshot `json:"wire_batch"`
 	CheckpointErrors     int64             `json:"checkpoint_errors"`
 	CheckpointRecoveries int64             `json:"checkpoint_recoveries"`
+	WALAppends           int64             `json:"wal_appends"`
+	WALAppendErrors      int64             `json:"wal_append_errors"`
+	WALFsyncNs           int64             `json:"wal_fsync_ns"`
+	WALReplays           int64             `json:"wal_replays"`
+	WALTruncatedRecords  int64             `json:"wal_truncated_records"`
 	ElapsedSec           float64           `json:"elapsed_sec"`
 	IterationsPerSec     float64           `json:"iterations_per_sec"`
 	// Allocs is the process-wide heap-allocation count since Start (a
@@ -243,6 +264,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		WireBatch:            m.WireBatch.Snapshot(),
 		CheckpointErrors:     m.CheckpointErrors.Load(),
 		CheckpointRecoveries: m.CheckpointRecoveries.Load(),
+		WALAppends:           m.WALAppends.Load(),
+		WALAppendErrors:      m.WALAppendErrors.Load(),
+		WALFsyncNs:           m.WALFsyncNs.Load(),
+		WALReplays:           m.WALReplays.Load(),
+		WALTruncatedRecords:  m.WALTruncatedRecords.Load(),
 	}
 	if start := m.startNano.Load(); start > 0 {
 		s.ElapsedSec = time.Since(time.Unix(0, start)).Seconds()
@@ -286,6 +312,11 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.WireBatch.Merge(o.WireBatch)
 	s.CheckpointErrors += o.CheckpointErrors
 	s.CheckpointRecoveries += o.CheckpointRecoveries
+	s.WALAppends += o.WALAppends
+	s.WALAppendErrors += o.WALAppendErrors
+	s.WALFsyncNs += o.WALFsyncNs
+	s.WALReplays += o.WALReplays
+	s.WALTruncatedRecords += o.WALTruncatedRecords
 	s.IterationsPerSec += o.IterationsPerSec
 	if o.ElapsedSec > s.ElapsedSec {
 		s.ElapsedSec = o.ElapsedSec

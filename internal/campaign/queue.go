@@ -35,6 +35,10 @@ type queueEntry struct {
 	attempts int  // expired or failed attempts consumed from the retry budget
 	failed   bool // done because the budget ran out, not because a result landed
 	failErr  string
+	// grantedAt is when the newest grant was handed out, for the
+	// oldest-lease-age gauge. It is metrics-only and not persisted; a
+	// restored lease approximates it as expires − TTL.
+	grantedAt time.Time
 }
 
 // leaseQueue is the dispatcher's job ledger. It is not safe for
@@ -116,7 +120,8 @@ func (q *leaseQueue) lease(worker string, max int) []*queueEntry {
 	if n == 0 {
 		return nil
 	}
-	expires := q.now().Add(q.ttl)
+	now := q.now()
+	expires := now.Add(q.ttl)
 	granted := make([]*queueEntry, 0, n)
 	for _, id := range q.pending[:n] {
 		e := q.entries[id]
@@ -125,6 +130,7 @@ func (q *leaseQueue) lease(worker string, max int) []*queueEntry {
 		e.leaseID = q.nextLease
 		e.worker = worker
 		e.expires = expires
+		e.grantedAt = now
 		granted = append(granted, e)
 	}
 	q.pending = q.pending[n:]
@@ -228,4 +234,170 @@ func (q *leaseQueue) allDone() bool {
 		}
 	}
 	return true
+}
+
+// oldestLeaseGrant returns the earliest grantedAt among live leases,
+// for the oldest-lease-age gauge.
+func (q *leaseQueue) oldestLeaseGrant() (time.Time, bool) {
+	var oldest time.Time
+	found := false
+	for _, e := range q.entries {
+		if e.state != stateLeased || e.grantedAt.IsZero() {
+			continue
+		}
+		if !found || e.grantedAt.Before(oldest) {
+			oldest = e.grantedAt
+			found = true
+		}
+	}
+	return oldest, found
+}
+
+// ledgerRows snapshots every row in job-ID order for the checkpoint's
+// ledger section (WAL compaction).
+func (q *leaseQueue) ledgerRows() []LedgerRow {
+	rows := make([]LedgerRow, 0, len(q.ids))
+	for _, id := range q.ids {
+		e := q.entries[id]
+		row := LedgerRow{
+			JobID:    id,
+			State:    int(e.state),
+			Attempts: e.attempts,
+			Failed:   e.failed,
+			FailErr:  e.failErr,
+		}
+		if e.state == stateLeased {
+			row.LeaseID = e.leaseID
+			row.Worker = e.worker
+			row.Expires = e.expires.UnixNano()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// newLeaseQueueFromRows rebuilds a ledger from checkpointed rows: each
+// row becomes the row it describes, byte for byte of observable state.
+// jobs is the campaign's full job list; rows referencing jobs outside
+// it are dropped (validateRestored already rejected such snapshots for
+// the done set). Restored leases keep their nonce, holder, and expiry —
+// if the worker is still alive it heartbeats the same lease onward; if
+// not, the ordinary sweep requeues it when the clock passes the
+// restored deadline.
+func newLeaseQueueFromRows(jobs []Job, rows []LedgerRow, ttl time.Duration, maxRetries int, nextLease int64, now func() time.Time) *leaseQueue {
+	byID := make(map[int]Job, len(jobs))
+	for _, job := range jobs {
+		byID[job.ID] = job
+	}
+	q := &leaseQueue{
+		entries:    make(map[int]*queueEntry, len(rows)),
+		ttl:        ttl,
+		maxRetries: maxRetries,
+		nextLease:  nextLease,
+		now:        now,
+	}
+	for _, row := range rows {
+		job, ok := byID[row.JobID]
+		if !ok {
+			continue
+		}
+		e := &queueEntry{
+			job:      job,
+			state:    leaseState(row.State),
+			attempts: row.Attempts,
+			failed:   row.Failed,
+			failErr:  row.FailErr,
+		}
+		if e.state == stateLeased {
+			e.leaseID = row.LeaseID
+			e.worker = row.Worker
+			e.expires = time.Unix(0, row.Expires)
+			e.grantedAt = e.expires.Add(-ttl)
+			if row.LeaseID > q.nextLease {
+				q.nextLease = row.LeaseID
+			}
+		}
+		q.entries[row.JobID] = e
+		q.ids = append(q.ids, row.JobID)
+		if e.state == statePending {
+			q.pending = append(q.pending, row.JobID)
+		}
+	}
+	sort.Ints(q.ids)
+	sort.Ints(q.pending)
+	return q
+}
+
+// dropPending removes id from the pending list if present.
+func (q *leaseQueue) dropPending(id int) {
+	i := sort.SearchInts(q.pending, id)
+	if i < len(q.pending) && q.pending[i] == id {
+		q.pending = append(q.pending[:i], q.pending[i+1:]...)
+	}
+}
+
+// WAL replay application. Each method applies one logged transition
+// defensively: records are absolute ("the row became this"), so
+// replaying a suffix that partially overlaps a newer snapshot converges
+// — the last record per job wins, and records for rows already done are
+// skipped. None of these consult the clock; replay is purely
+// record-driven, which is what makes it deterministic.
+
+// applyGrant re-imposes a logged grant.
+func (q *leaseQueue) applyGrant(jobID int, leaseID int64, worker string, expires time.Time) bool {
+	e, ok := q.entries[jobID]
+	if !ok || e.state == stateDone {
+		return false
+	}
+	q.dropPending(jobID)
+	e.state = stateLeased
+	e.leaseID = leaseID
+	e.worker = worker
+	e.expires = expires
+	e.grantedAt = expires.Add(-q.ttl)
+	if leaseID > q.nextLease {
+		q.nextLease = leaseID
+	}
+	return true
+}
+
+// applyExtend re-imposes a logged heartbeat extension.
+func (q *leaseQueue) applyExtend(jobID int, leaseID int64, expires time.Time) bool {
+	e, ok := q.entries[jobID]
+	if !ok || e.state != stateLeased || e.leaseID != leaseID {
+		return false
+	}
+	e.expires = expires
+	return true
+}
+
+// applyRequeue re-imposes a logged return to pending with its absolute
+// budget consumption.
+func (q *leaseQueue) applyRequeue(jobID, attempts int, failErr string) bool {
+	e, ok := q.entries[jobID]
+	if !ok || e.state == stateDone {
+		return false
+	}
+	if e.state != statePending {
+		q.requeue(jobID)
+	}
+	e.state = statePending
+	e.attempts = attempts
+	e.failErr = failErr
+	return true
+}
+
+// applyDeadLetter re-imposes a logged budget exhaustion. The caller
+// records the JobFailure on the totals when this reports true.
+func (q *leaseQueue) applyDeadLetter(jobID, attempts int, failErr string) (*queueEntry, bool) {
+	e, ok := q.entries[jobID]
+	if !ok || e.state == stateDone {
+		return nil, false
+	}
+	q.dropPending(jobID)
+	e.state = stateDone
+	e.failed = true
+	e.attempts = attempts
+	e.failErr = failErr
+	return e, true
 }

@@ -28,6 +28,22 @@ type Options struct {
 	// here.
 	CheckpointFS CheckpointFS
 
+	// WALPath, when non-empty, enables the durable dispatch plane
+	// (dispatch mode only): every lease-ledger transition is appended to
+	// a write-ahead log there, and a restarted dispatcher replays
+	// snapshot + log to reconstruct the exact ledger. Requires
+	// CheckpointPath, since the log compacts into the checkpoint.
+	WALPath string
+
+	// WALSyncEvery batches WAL fsyncs to every n appended records
+	// (group commit); 0 or 1 fsyncs every record.
+	WALSyncEvery int
+
+	// CompactEvery folds the WAL into a fresh checkpoint every n
+	// terminal job transitions (merges + dead letters); 0 selects the
+	// default of 64.
+	CompactEvery int
+
 	// Metrics receives the run's counters; nil allocates a private set.
 	Metrics *Metrics
 
@@ -316,9 +332,15 @@ const finalSaveRetries = 3
 // transient disk faults: up to finalSaveRetries attempts, counting each
 // failure, returning the last error only if none succeeded.
 func saveCheckpointRetry(fsys CheckpointFS, path string, spec Spec, done map[int]*JobResult, metrics *Metrics) error {
+	return saveCheckpointLedgerRetry(fsys, path, spec, done, nil, metrics)
+}
+
+// saveCheckpointLedgerRetry is saveCheckpointRetry carrying a lease
+// ledger (the dispatcher's closing save in WAL mode).
+func saveCheckpointLedgerRetry(fsys CheckpointFS, path string, spec Spec, done map[int]*JobResult, ledger *LedgerSnapshot, metrics *Metrics) error {
 	var err error
 	for attempt := 0; attempt < finalSaveRetries; attempt++ {
-		if err = SaveCheckpointFS(fsys, path, spec, done); err == nil {
+		if err = SaveCheckpointLedgerFS(fsys, path, spec, done, ledger); err == nil {
 			return nil
 		}
 		metrics.CheckpointErrors.Add(1)

@@ -59,6 +59,12 @@ type WorkerOptions struct {
 	// BreakerCooldown is how long an open circuit holds requests off; 0
 	// selects DefaultBreakerCooldown.
 	BreakerCooldown time.Duration
+	// RecoveryWindow, when positive, keeps transport-class retries
+	// (network errors and 5xx) going until this much time has passed,
+	// even past MaxAttempts — sized to how long a dispatcher restart
+	// takes, so a worker rides out a server failover instead of exiting
+	// with its leases mid-flight. 4xx responses still fail immediately.
+	RecoveryWindow time.Duration
 	// OnJobDone observes every locally completed job result, before
 	// upload.
 	OnJobDone func(*JobResult)
@@ -75,9 +81,11 @@ type WorkerOptions struct {
 // number of workers — joining, crashing, being replaced — drive the
 // campaign to the same final bytes as a local run.
 type Worker struct {
-	opts     WorkerOptions
-	brk      *breaker
-	draining atomic.Bool
+	opts      WorkerOptions
+	brk       *breaker
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainCh   chan struct{} // closed by Drain; cuts idle poll sleeps short
 
 	// useBinary and piggyback are fixed by codec negotiation in Run
 	// before any batch goroutine starts. piggyback means the server is
@@ -142,9 +150,10 @@ func NewWorker(opts WorkerOptions) *Worker {
 	h := fnv.New64a()
 	io.WriteString(h, opts.Name)
 	return &Worker{
-		opts: opts,
-		brk:  newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
-		rng:  rand.New(rand.NewSource(int64(h.Sum64() &^ (1 << 63)))),
+		opts:    opts,
+		brk:     newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		drainCh: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(int64(h.Sum64() &^ (1 << 63)))),
 	}
 }
 
@@ -163,7 +172,10 @@ func (w *Worker) jitter(d time.Duration) time.Duration {
 // finish and upload, unstarted grants are released back to the queue,
 // and Run returns nil. Cancelling Run's context instead is the hard
 // stop — nothing is uploaded and the held leases expire server-side.
-func (w *Worker) Drain() { w.draining.Store(true) }
+func (w *Worker) Drain() {
+	w.draining.Store(true)
+	w.drainOnce.Do(func() { close(w.drainCh) })
+}
 
 // Run works the campaign until the server reports it done, Drain is
 // called, or ctx is cancelled.
@@ -208,10 +220,18 @@ func (w *Worker) Run(ctx context.Context) error {
 				wait = 500 * time.Millisecond
 			}
 			// Jitter the poll so idle fleet members spread out instead of
-			// stampeding the lease endpoint in lockstep.
+			// stampeding the lease endpoint in lockstep. Drain interrupts
+			// the sleep so a signaled idle worker exits promptly.
 			wait = wait/2 + w.jitter(wait/2)
-			if err := sleepCtx(ctx, wait); err != nil {
-				return err
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-w.drainCh:
+				t.Stop()
+				return nil
+			case <-t.C:
 			}
 			continue
 		}
@@ -561,8 +581,17 @@ func (w *Worker) url(endpoint string) string {
 // spent on the server, not on a cooldown we already know about.
 func (w *Worker) retry(ctx context.Context, do func() (*http.Response, error), out any) error {
 	backoff := w.opts.BackoffBase
+	// A recovery window extends transport-class retries past MaxAttempts
+	// until the deadline passes — long enough to span a dispatcher
+	// restart, so a failover costs the worker backoff time, not its
+	// leases.
+	var deadline time.Time
+	if w.opts.RecoveryWindow > 0 {
+		deadline = time.Now().Add(w.opts.RecoveryWindow)
+	}
 	var lastErr error
-	for attempt := 0; attempt < w.opts.MaxAttempts; attempt++ {
+	attempt := 0
+	for ; attempt < w.opts.MaxAttempts || (!deadline.IsZero() && time.Now().Before(deadline)); attempt++ {
 		if attempt > 0 {
 			// Full jitter keeps a rebooting fleet from thundering back in
 			// sync.
@@ -617,7 +646,7 @@ func (w *Worker) retry(ctx context.Context, do func() (*http.Response, error), o
 		}
 		return nil
 	}
-	return fmt.Errorf("campaign: giving up after %d attempts: %w", w.opts.MaxAttempts, lastErr)
+	return fmt.Errorf("campaign: giving up after %d attempts: %w", attempt, lastErr)
 }
 
 func firstLine(b []byte) string {

@@ -51,6 +51,10 @@ const (
 	Corrupt
 	// RenameFail fails the checkpoint's commit (or rotation) rename.
 	RenameFail
+	// PartialAppend persists only a prefix of a WAL append, then fails
+	// the write — the crash-mid-append case that leaves a torn tail
+	// record for replay to detect and truncate.
+	PartialAppend
 
 	numFaults
 )
@@ -58,6 +62,7 @@ const (
 var faultNames = [numFaults]string{
 	"none", "drop_request", "drop_response", "delay", "duplicate",
 	"truncate", "server_error", "torn_write", "corrupt", "rename_fail",
+	"partial_append",
 }
 
 func (f Fault) String() string {

@@ -22,6 +22,9 @@ type FSRates struct {
 	Corrupt float64
 	// RenameFail fails the save's next rename (rotation or commit).
 	RenameFail float64
+	// PartialAppend persists only a prefix of one WAL append and fails
+	// the write — the crash that leaves a torn record at the log's tail.
+	PartialAppend float64
 }
 
 // FSConfig parameterizes an FS.
@@ -35,10 +38,15 @@ type FSConfig struct {
 	MaxConsecutive int
 }
 
-// fsOp is the single schedule key: a save attempt draws exactly one
+// fsOp is the save-path schedule key: a save attempt draws exactly one
 // fault covering its whole write-sync-rename sequence, so the
 // consecutive-failure cap bounds failing save attempts as a unit.
-const fsOp = "save"
+// fsAppendOp keys the WAL append path separately — append faults must
+// not eat the save path's consecutive-failure budget or vice versa.
+const (
+	fsOp       = "save"
+	fsAppendOp = "append"
+)
 
 // FS implements campaign.CheckpointFS with seeded write-path faults.
 // Reads are never faulted: corruption is injected at write time, which
@@ -107,6 +115,45 @@ func (f *FS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
 // implementation too, and faulting them would add no new failure mode
 // beyond RenameFail.
 func (f *FS) SyncDir(dir string) error { return nil }
+
+// OpenAppend opens a WAL segment for appending. Each Write draws its
+// own fault, so a long-lived log file sees torn appends sprinkled
+// through its life rather than one draw at open time.
+func (f *FS) OpenAppend(name string) (campaign.WALFile, error) {
+	file, err := os.OpenFile(name, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &appendFile{f: file, fs: f}, nil
+}
+
+// appendFile is a WAL segment handle whose writes can tear. Unlike
+// faultFile it does not buffer: each append is one frame, and a
+// PartialAppend persists a strict prefix of that frame and reports
+// failure — exactly the bytes a real crash mid-append would leave.
+type appendFile struct {
+	f  *os.File
+	fs *FS
+}
+
+func (w *appendFile) Write(p []byte) (int, error) {
+	fault := w.fs.sched.next(fsAppendOp, []pick{
+		{PartialAppend, w.fs.rates.PartialAppend},
+	})
+	if fault == PartialAppend && len(p) > 0 {
+		cut := w.fs.sched.intn(len(p))
+		n, err := w.f.Write(p[:cut])
+		if err != nil {
+			return n, err
+		}
+		w.f.Sync()
+		return n, fmt.Errorf("chaos: partial append: %d of %d bytes persisted", cut, len(p))
+	}
+	return w.f.Write(p)
+}
+
+func (w *appendFile) Sync() error  { return w.f.Sync() }
+func (w *appendFile) Close() error { return w.f.Close() }
 
 // faultFile buffers all writes and applies its fault when the caller
 // syncs, mimicking a kernel that only surfaces write-back problems at

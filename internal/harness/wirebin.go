@@ -122,6 +122,29 @@ func DecodeWireBinary(data []byte, v BinaryWirer, limit int) error {
 	return nil
 }
 
+// WireFrameLen reports the total byte length of the PWB1 frame at the
+// start of data, when data begins with a complete frame (magic, length
+// varint, declared body, CRC trailer) lying entirely within data. Only
+// the framing envelope is validated — callers that need the CRC and
+// body checked pass the frame slice to DecodeWireBinary. This is the
+// scan primitive for files holding a sequence of frames (the dispatch
+// WAL): walk frame to frame until it reports false, which marks the
+// torn tail.
+func WireFrameLen(data []byte) (int, bool) {
+	if len(data) < len(wireBinMagic)+1+4 || [4]byte(data[:4]) != wireBinMagic {
+		return 0, false
+	}
+	bodyLen, n := binary.Uvarint(data[len(wireBinMagic):])
+	if n <= 0 || bodyLen > uint64(len(data)) {
+		return 0, false
+	}
+	total := len(wireBinMagic) + n + int(bodyLen) + 4
+	if total > len(data) {
+		return 0, false
+	}
+	return total, true
+}
+
 // WireWriter builds a PWB1 body: an append-only byte slice plus the
 // string-interning table shared by every PutString in one payload.
 type WireWriter struct {
